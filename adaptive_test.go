@@ -1,0 +1,73 @@
+package xprs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAdaptiveLateArrival pins the §2.4 behaviour the adaptive example
+// demonstrates: a CPU-bound task arriving mid-run pairs with the running
+// IO-bound scan (adjusting it down to the balance point), and the
+// survivor is adjusted back up when the newcomer finishes — ending up
+// faster than serial execution.
+func TestAdaptiveLateArrival(t *testing.T) {
+	sys := New(DefaultConfig())
+	if _, err := sys.CreateScanRelation("stream", 65, 60000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.CreateScanRelation("batch", 10, 60000); err != nil {
+		t.Fatal(err)
+	}
+	long, err := sys.SelectTask(0, "stream", 0, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := sys.SelectTask(1, "batch", 0, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late.Arrival = 10 * time.Second
+	rep, err := sys.Run([]TaskSpec{long, late}, InterAdj, SchedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawDown, sawUp bool
+	for _, ev := range rep.Trace {
+		if ev.Kind == "adjust" && ev.TaskID == 0 {
+			if ev.Time >= 10*time.Second && ev.Time < 11*time.Second && ev.Degree < 4 {
+				sawDown = true
+			}
+			if ev.Time > 11*time.Second && ev.Degree == 4 {
+				sawUp = true
+			}
+		}
+	}
+	if !sawDown {
+		t.Errorf("no downward adjustment at the arrival: %v", rep.Trace)
+	}
+	if !sawUp {
+		t.Errorf("no upward adjustment after the partner finished: %v", rep.Trace)
+	}
+	// The pairing must beat running the two tasks serially.
+	serial := func() time.Duration {
+		s2 := New(DefaultConfig())
+		_, _ = s2.CreateScanRelation("stream", 65, 60000)
+		_, _ = s2.CreateScanRelation("batch", 10, 60000)
+		a, _ := s2.SelectTask(0, "stream", 0, 1<<30)
+		b, _ := s2.SelectTask(1, "batch", 0, 1<<30)
+		rep2, err := s2.Run([]TaskSpec{a, b}, IntraOnly, SchedOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep2.Elapsed
+	}()
+	if rep.Elapsed >= serial+10*time.Second {
+		// The late task arrived 10s in, so anything below serial+10s
+		// means the overlap paid off.
+		t.Errorf("adaptive run %v did not beat serial %v (+10s arrival offset)", rep.Elapsed, serial)
+	}
+	// Correctness: both tasks produced their full results.
+	if rep.Results[0].Len() != 60000 || rep.Results[1].Len() != 60000 {
+		t.Fatalf("results = %d, %d", rep.Results[0].Len(), rep.Results[1].Len())
+	}
+}

@@ -1,0 +1,251 @@
+package xprs
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (DESIGN.md §4 maps each to its experiment). Each
+// benchmark reports the simulated (virtual-time) metric the paper
+// plots; wall-clock ns/op measures the simulator itself. Run with
+//
+//	go test -bench=. -benchmem
+//
+// and see cmd/xprsbench for the same experiments as formatted tables.
+
+import (
+	"fmt"
+	"testing"
+
+	"xprs/internal/core"
+	"xprs/internal/workload"
+)
+
+// BenchmarkFig3Classification prices the §2.2 classification and maxp
+// computation across the paper's rate band.
+func BenchmarkFig3Classification(b *testing.B) {
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		rows := Fig3Classification(cfg)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig4BalancePoint prices the §2.3 balance-point solve,
+// including the effective-bandwidth fixed point.
+func BenchmarkFig4BalancePoint(b *testing.B) {
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		rows := Fig4BalancePoints(cfg)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkSeqSeqEffectiveBandwidth tabulates the §2.3 equation.
+func BenchmarkSeqSeqEffectiveBandwidth(b *testing.B) {
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		rows := SeqSeqEffectiveBandwidth(cfg)
+		if rows[0].B < rows[len(rows)-1].B {
+			b.Fatal("shape")
+		}
+	}
+}
+
+// BenchmarkTableTaskIORates regenerates the §3 task-type table and a
+// sample workload against it.
+func BenchmarkTableTaskIORates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New(DefaultConfig())
+		_, infos, err := workload.Generate(s.store, s.params, workload.RandomMix, int64(i), fmt.Sprintf("b%d", i), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(infos) != workload.WorkloadSize {
+			b.Fatal("size")
+		}
+	}
+}
+
+// BenchmarkFig7 runs the full Figure 7 experiment (4 workloads x 3
+// policies on the simulated machine) and reports the headline virtual
+// elapsed times and the INTER-WITH-ADJ improvement.
+func BenchmarkFig7(b *testing.B) {
+	cfg := DefaultConfig()
+	var last *Fig7Result
+	for i := 0; i < b.N; i++ {
+		res, err := RunFig7(cfg, 1992)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		for _, k := range WorkloadKinds() {
+			for _, p := range Policies() {
+				b.ReportMetric(last.Elapsed(k, p).Seconds(), fmt.Sprintf("vs_%s_%s", shortKind(k), shortPolicy(p)))
+			}
+		}
+		b.ReportMetric(last.Improvement(Extreme)*100, "extreme_gain_%")
+		b.ReportMetric(last.Improvement(RandomMix)*100, "random_gain_%")
+	}
+}
+
+// Per-workload Figure 7 cells as separate benches, for -bench filtering.
+func benchFig7Cell(b *testing.B, kind WorkloadKind, policy Policy) {
+	b.Helper()
+	var elapsed float64
+	for i := 0; i < b.N; i++ {
+		s := New(DefaultConfig())
+		specs, _, err := workload.Generate(s.store, s.params, kind, 1992+int64(kind), fmt.Sprintf("c%d", i), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := s.Run(specs, policy, SchedOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		elapsed = rep.Elapsed.Seconds()
+	}
+	b.ReportMetric(elapsed, "virtual_s")
+}
+
+func BenchmarkFig7AllCPUIntraOnly(b *testing.B)   { benchFig7Cell(b, AllCPU, IntraOnly) }
+func BenchmarkFig7AllCPUInterNoAdj(b *testing.B)  { benchFig7Cell(b, AllCPU, InterNoAdj) }
+func BenchmarkFig7AllCPUInterAdj(b *testing.B)    { benchFig7Cell(b, AllCPU, InterAdj) }
+func BenchmarkFig7AllIOIntraOnly(b *testing.B)    { benchFig7Cell(b, AllIO, IntraOnly) }
+func BenchmarkFig7AllIOInterNoAdj(b *testing.B)   { benchFig7Cell(b, AllIO, InterNoAdj) }
+func BenchmarkFig7AllIOInterAdj(b *testing.B)     { benchFig7Cell(b, AllIO, InterAdj) }
+func BenchmarkFig7ExtremeIntraOnly(b *testing.B)  { benchFig7Cell(b, Extreme, IntraOnly) }
+func BenchmarkFig7ExtremeInterNoAdj(b *testing.B) { benchFig7Cell(b, Extreme, InterNoAdj) }
+func BenchmarkFig7ExtremeInterAdj(b *testing.B)   { benchFig7Cell(b, Extreme, InterAdj) }
+func BenchmarkFig7RandomIntraOnly(b *testing.B)   { benchFig7Cell(b, RandomMix, IntraOnly) }
+func BenchmarkFig7RandomInterNoAdj(b *testing.B)  { benchFig7Cell(b, RandomMix, InterNoAdj) }
+func BenchmarkFig7RandomInterAdj(b *testing.B)    { benchFig7Cell(b, RandomMix, InterAdj) }
+
+// BenchmarkSec4Parcost runs the §4 optimizer study on a 4-way join and
+// reports estimated and measured costs for both optimizer configurations.
+func BenchmarkSec4Parcost(b *testing.B) {
+	cfg := DefaultConfig()
+	var rows []Sec4Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = RunSec4(cfg, []int{4}, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(rows) == 2 {
+		b.ReportMetric(rows[0].Measured.Seconds(), "leftdeep_vs")
+		b.ReportMetric(rows[1].Measured.Seconds(), "bushy_vs")
+		b.ReportMetric(rows[0].ParCost, "leftdeep_parcost_s")
+		b.ReportMetric(rows[1].ParCost, "bushy_parcost_s")
+	}
+}
+
+// BenchmarkAblationPairing compares the most-extreme pairing heuristic
+// (the paper's) with FIFO pairing on the random-mix workload.
+func BenchmarkAblationPairing(b *testing.B) {
+	var extreme, fifo float64
+	for i := 0; i < b.N; i++ {
+		for _, v := range []struct {
+			opts SchedOptions
+			out  *float64
+		}{
+			{SchedOptions{}, &extreme},
+			{SchedOptions{Pairing: core.FIFOPairing}, &fifo},
+		} {
+			s := New(DefaultConfig())
+			specs, _, err := workload.Generate(s.store, s.params, workload.RandomMix, 5, fmt.Sprintf("p%d%p", i, v.out), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := s.Run(specs, InterAdj, v.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			*v.out = rep.Elapsed.Seconds()
+		}
+	}
+	b.ReportMetric(extreme, "most_extreme_vs")
+	b.ReportMetric(fifo, "fifo_vs")
+}
+
+// BenchmarkAblationSJF measures shortest-job-first's effect on mean
+// response time (the §2.5 multi-user heuristic).
+func BenchmarkAblationSJF(b *testing.B) {
+	var rows []AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = RunAblations(DefaultConfig(), 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		_ = r
+	}
+	if len(rows) == 3 {
+		b.ReportMetric(rows[0].MeanResponse.Seconds(), "default_mean_resp_s")
+		b.ReportMetric(rows[2].MeanResponse.Seconds(), "sjf_mean_resp_s")
+	}
+}
+
+// BenchmarkSchedulerDecision prices one Submit/Complete round trip of
+// the controller (the master backend's hot path).
+func BenchmarkSchedulerDecision(b *testing.B) {
+	env := core.Env{NProcs: 8, B: 240, Bs: 240, Br: 177, BrRand: 140}
+	for i := 0; i < b.N; i++ {
+		ctl := core.NewController(env, core.InterAdj, core.Options{})
+		io := &core.Task{ID: 1, T: 10, D: 650, SeqIO: true}
+		cpu := &core.Task{ID: 2, T: 10, D: 100, SeqIO: true}
+		ctl.Submit(io, cpu)
+		ctl.Complete(cpu)
+		ctl.Complete(io)
+	}
+}
+
+// BenchmarkSimulate prices the analytic schedule simulation that backs
+// parcost(p, n).
+func BenchmarkSimulate(b *testing.B) {
+	env := core.Env{NProcs: 8, B: 240, Bs: 240, Br: 177, BrRand: 140}
+	var tasks []*core.Task
+	for i := 0; i < 10; i++ {
+		rate := 10.0
+		if i%2 == 0 {
+			rate = 60
+		}
+		tasks = append(tasks, &core.Task{ID: i, T: 10, D: rate * 10, SeqIO: true})
+	}
+	sim := core.MakeSimTasks(tasks)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Simulate(env, core.InterAdj, core.Options{}, sim); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func shortKind(k WorkloadKind) string {
+	switch k {
+	case AllCPU:
+		return "allcpu"
+	case AllIO:
+		return "allio"
+	case Extreme:
+		return "extreme"
+	default:
+		return "random"
+	}
+}
+
+func shortPolicy(p Policy) string {
+	switch p {
+	case IntraOnly:
+		return "intra"
+	case InterNoAdj:
+		return "noadj"
+	default:
+		return "adj"
+	}
+}

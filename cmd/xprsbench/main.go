@@ -1,0 +1,96 @@
+// Command xprsbench regenerates every table and figure of the paper's
+// evaluation on the simulated machine.
+//
+// Usage:
+//
+//	xprsbench -fig 7            # the Figure 7 scheduling experiment
+//	xprsbench -fig 3            # IO/CPU classification table
+//	xprsbench -fig 4            # IO-CPU balance points
+//	xprsbench -fig balance-seq  # §2.3 effective bandwidth of seq pairs
+//	xprsbench -fig table1       # §3 task-type IO rates
+//	xprsbench -fig sec4         # §4 optimizer comparison
+//	xprsbench -fig ablations    # pairing / SJF ablations
+//	xprsbench -fig all          # everything
+//
+// Flags -seed, -procs and -disks size the experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xprs"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure/table to regenerate: 3, 4, 7, table1, balance-seq, sec4, stream, ablations, all")
+	seed := flag.Int64("seed", 1992, "workload seed")
+	procs := flag.Int("procs", 8, "number of processors")
+	disks := flag.Int("disks", 4, "number of disks")
+	flag.Parse()
+
+	cfg := xprs.DefaultConfig()
+	cfg.NProcs = *procs
+	cfg.Disk.NumDisks = *disks
+
+	run := func(name string, fn func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "xprsbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("3", func() error {
+		fmt.Print(xprs.FormatFig3(xprs.Fig3Classification(cfg)))
+		return nil
+	})
+	run("4", func() error {
+		fmt.Print(xprs.FormatFig4(xprs.Fig4BalancePoints(cfg)))
+		return nil
+	})
+	run("table1", func() error {
+		fmt.Print(xprs.FormatTable1(xprs.Table1TaskRates()))
+		return nil
+	})
+	run("balance-seq", func() error {
+		fmt.Print(xprs.FormatSeqSeq(xprs.SeqSeqEffectiveBandwidth(cfg)))
+		return nil
+	})
+	run("7", func() error {
+		res, err := xprs.RunFig7(cfg, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(xprs.FormatFig7(res))
+		return nil
+	})
+	run("sec4", func() error {
+		rows, err := xprs.RunSec4(cfg, []int{3, 4, 5}, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(xprs.FormatSec4(rows))
+		return nil
+	})
+	run("stream", func() error {
+		rows, err := xprs.RunStream(cfg, *seed, 16, 2e9, xprs.SchedOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Print(xprs.FormatStream(rows))
+		return nil
+	})
+	run("ablations", func() error {
+		rows, err := xprs.RunAblations(cfg, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(xprs.FormatAblations(rows))
+		return nil
+	})
+}

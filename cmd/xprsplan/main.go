@@ -1,0 +1,93 @@
+// Command xprsplan is the EXPLAIN tool: it builds a k-way chain-join
+// query with mixed IO/CPU scan profiles, optimizes it under a chosen
+// configuration, and prints the sequential plan, its fragment graph,
+// and the predicted schedule.
+//
+// Usage:
+//
+//	xprsplan -rels 4 -shape bushy -cost parcost
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xprs"
+	"xprs/internal/cost"
+	"xprs/internal/workload"
+)
+
+func main() {
+	rels := flag.Int("rels", 4, "number of relations in the chain join (2..8)")
+	shape := flag.String("shape", "bushy", "plan space: left-deep or bushy")
+	costFn := flag.String("cost", "parcost", "cost function: seqcost or parcost")
+	ntuples := flag.Int64("tuples", 2000, "tuples per relation")
+	seed := flag.Int64("seed", 11, "relation profile seed")
+	flag.Parse()
+
+	if *rels < 2 || *rels > 8 {
+		fmt.Fprintln(os.Stderr, "xprsplan: -rels must be in 2..8")
+		os.Exit(2)
+	}
+	opts := xprs.OptOptions{}
+	switch *shape {
+	case "left-deep":
+		opts.Shape = xprs.LeftDeep
+	case "bushy":
+		opts.Shape = xprs.Bushy
+	default:
+		fmt.Fprintln(os.Stderr, "xprsplan: unknown -shape")
+		os.Exit(2)
+	}
+	switch *costFn {
+	case "seqcost":
+		opts.Cost = xprs.SeqCost
+	case "parcost":
+		opts.Cost = xprs.ParCost
+	default:
+		fmt.Fprintln(os.Stderr, "xprsplan: unknown -cost")
+		os.Exit(2)
+	}
+
+	s := xprs.New(xprs.DefaultConfig())
+	cj, err := workload.BuildChainJoin(s.Store(), s.Params(), "plan", *rels, *ntuples, int32(*ntuples/10), *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xprsplan:", err)
+		os.Exit(1)
+	}
+	q := &xprs.Query{}
+	for _, rel := range cj.Rels {
+		st := rel.Stats()
+		fmt.Printf("relation %-8s %7d tuples %6d pages  avg tuple %5.0f B  scan rate %5.1f io/s\n",
+			rel.Name, st.NTuples, st.NPages, st.AvgTupleSize, s.Params().SeqScanRate(st.AvgTupleSize))
+		q.Rels = append(q.Rels, xprs.QueryRel{Rel: rel})
+	}
+	for _, j := range cj.Joins {
+		q.Joins = append(q.Joins, xprs.JoinPred{LRel: j[0], LCol: j[1], RRel: j[2], RCol: j[3]})
+	}
+
+	res, err := s.Optimize(q, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xprsplan:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\noptimizer: shape=%s cost=%s\n", opts.Shape, opts.Cost)
+	fmt.Printf("seqcost(p) = %.2f s   parcost(p, %d) = %.2f s\n\n",
+		res.SeqCost, s.Params().NProcs, res.ParCost)
+	fmt.Println(xprs.ExplainPlan(res))
+
+	fmt.Println("per-fragment estimates (T_i, D_i, C_i = D_i/T_i):")
+	for _, f := range res.Graph.Fragments {
+		e := res.Estimates[f.ID]
+		fmt.Printf("  f%d: T=%8.2fs  D=%8.0f  C=%6.1f io/s  %s\n",
+			f.ID, e.T, e.D, e.Rate(), ioClass(e, s.Params()))
+	}
+}
+
+func ioClass(e cost.FragEstimate, p xprs.Params) string {
+	if e.Rate() > p.B/float64(p.NProcs) {
+		return "IO-bound"
+	}
+	return "CPU-bound"
+}

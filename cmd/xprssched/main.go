@@ -1,0 +1,105 @@
+// Command xprssched is a standalone playground for the paper's
+// scheduling algorithm: describe tasks as rate:seconds pairs on the
+// command line and watch the schedule the controller produces under
+// each policy.
+//
+// Usage:
+//
+//	xprssched 65:10 10:10 50:8 12:6
+//	xprssched -policy inter-adj -sjf 65:10 10:10
+//
+// Each argument is C:T where C is the task's sequential IO rate (io/s)
+// and T its sequential execution time (seconds). Append ":r" to mark a
+// random-IO task (an unclustered index scan): 40:5:r.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"xprs/internal/core"
+)
+
+func main() {
+	policyName := flag.String("policy", "all", "intra-only, inter-no-adj, inter-adj, or all")
+	sjf := flag.Bool("sjf", false, "shortest-job-first queueing")
+	fifo := flag.Bool("fifo", false, "FIFO pairing instead of most-extreme")
+	procs := flag.Int("procs", 8, "processors")
+	bw := flag.Float64("bw", 240, "planning disk bandwidth (io/s)")
+	br := flag.Float64("br", 140, "random-interleave bandwidth endpoint (io/s)")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: xprssched [flags] C:T[:r] ...")
+		os.Exit(2)
+	}
+	var tasks []*core.Task
+	for i, arg := range flag.Args() {
+		parts := strings.Split(arg, ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			fmt.Fprintf(os.Stderr, "xprssched: bad task %q (want C:T or C:T:r)\n", arg)
+			os.Exit(2)
+		}
+		c, err1 := strconv.ParseFloat(parts[0], 64)
+		t, err2 := strconv.ParseFloat(parts[1], 64)
+		if err1 != nil || err2 != nil || c <= 0 || t <= 0 {
+			fmt.Fprintf(os.Stderr, "xprssched: bad task %q\n", arg)
+			os.Exit(2)
+		}
+		seq := true
+		if len(parts) == 3 {
+			if parts[2] != "r" {
+				fmt.Fprintf(os.Stderr, "xprssched: bad task suffix %q\n", parts[2])
+				os.Exit(2)
+			}
+			seq = false
+		}
+		tasks = append(tasks, &core.Task{ID: i, Name: arg, T: t, D: c * t, SeqIO: seq})
+	}
+
+	env := core.Env{NProcs: *procs, B: *bw, Bs: *bw, Br: *br}
+	opts := core.Options{SJF: *sjf}
+	if *fifo {
+		opts.Pairing = core.FIFOPairing
+	}
+
+	fmt.Printf("machine: N=%d B=%.0f io/s (Br=%.0f); threshold B/N = %.1f io/s\n\n",
+		env.NProcs, env.B, env.Br, env.Threshold())
+	for _, t := range tasks {
+		class := "CPU-bound"
+		if env.IOBound(t) {
+			class = "IO-bound"
+		}
+		fmt.Printf("  %-12s C=%5.1f io/s  T=%5.1fs  %-9s  maxp=%.2f\n",
+			t.Name, t.Rate(), t.T, class, env.MaxParallelism(t))
+	}
+
+	policies := []core.Policy{core.IntraOnly, core.InterNoAdj, core.InterAdj}
+	switch *policyName {
+	case "all":
+	case "intra-only":
+		policies = []core.Policy{core.IntraOnly}
+	case "inter-no-adj":
+		policies = []core.Policy{core.InterNoAdj}
+	case "inter-adj":
+		policies = []core.Policy{core.InterAdj}
+	default:
+		fmt.Fprintln(os.Stderr, "xprssched: unknown -policy")
+		os.Exit(2)
+	}
+
+	for _, pol := range policies {
+		res, err := core.Simulate(env, pol, opts, core.MakeSimTasks(tasks))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xprssched:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%s — elapsed %.3fs\n", pol, res.Elapsed)
+		for _, ev := range res.Trace {
+			fmt.Printf("  %s\n", ev)
+		}
+	}
+}

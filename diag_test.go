@@ -1,0 +1,50 @@
+package xprs
+
+import (
+	"testing"
+	"time"
+
+	"xprs/internal/workload"
+)
+
+// TestDiagPair is a diagnostic (not a regression test): it prints the
+// time accounting of one XIO+XCPU pair under each policy.
+func TestDiagPair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	type cellResult struct {
+		elapsed time.Duration
+		finish  map[int]time.Duration
+	}
+	for _, pol := range Policies() {
+		s := New(DefaultConfig())
+		relIO, err := workload.BuildScanRelation(s.Store(), s.Params(), "xio", 65, 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		relCPU, err := workload.BuildScanRelation(s.Store(), s.Params(), "xcpu", 10, 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st1, st2 := relIO.Stats(), relCPU.Stats()
+		specIO, _ := s.SelectTask(0, "xio", 0, 1<<30)
+		specCPU, _ := s.SelectTask(1, "xcpu", 0, 1<<30)
+		rep, err := s.Run([]TaskSpec{specIO, specCPU}, pol, SchedOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := s.DiskStats()
+		t.Logf("%-20s elapsed=%7.3fs  finish(io)=%7.3f finish(cpu)=%7.3f  io: T=%5.2f D=%4.0f C=%4.1f | cpu: T=%5.2f D=%4.0f C=%4.1f | disk seq/almost/rand = %d/%d/%d busy=%5.1fs queued=%6.1fs",
+			pol, rep.Elapsed.Seconds(),
+			rep.Finish[0].Seconds(), rep.Finish[1].Seconds(),
+			specIO.Task.T, specIO.Task.D, specIO.Task.D/specIO.Task.T,
+			specCPU.Task.T, specCPU.Task.D, specCPU.Task.D/specCPU.Task.T,
+			ds.Reads[0], ds.Reads[1], ds.Reads[2], ds.Busy.Seconds(), ds.Queued.Seconds())
+		for _, ev := range rep.Trace {
+			t.Logf("    %v", ev)
+		}
+		_ = st1
+		_ = st2
+	}
+}

@@ -1,0 +1,3 @@
+module xprs
+
+go 1.22

@@ -1,0 +1,307 @@
+// Package btree implements the in-memory B-tree used as XPRS's index
+// structure. The paper's experiments create an unclustered index on the
+// int4 attribute r.a to make index scans possible (§3); index scans use
+// range partitioning for intra-operation parallelism, and the master
+// backend repartitions key intervals during dynamic parallelism
+// adjustment (§2.4, Figure 6). That repartitioning needs the index to
+// answer "how many keys fall in [lo, hi]" and "split [lo, hi] into k
+// equal-weight intervals", which this package provides.
+//
+// Keys are int32 (the only indexed type in the experiments); duplicates
+// are allowed. Values are storage TIDs.
+package btree
+
+import (
+	"fmt"
+	"sort"
+
+	"xprs/internal/storage"
+)
+
+// degree is the minimum number of children of an internal node (except
+// the root). Nodes hold between degree-1 and 2*degree-1 keys.
+const degree = 32
+
+// item is one key/TID pair.
+type item struct {
+	key int32
+	tid storage.TID
+}
+
+type node struct {
+	items    []item
+	children []*node // nil for leaves
+	// subtreeLen caches the number of items at or below this node, which
+	// makes count and split-by-weight queries O(log n).
+	subtreeLen int64
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// Tree is a B-tree multimap from int32 keys to TIDs. It is not safe for
+// concurrent mutation; the engine builds indexes before running queries
+// and only reads them afterwards, matching XPRS's read-only experiments.
+type Tree struct {
+	root *node
+	size int64
+}
+
+// New creates an empty tree.
+func New() *Tree { return &Tree{root: &node{}} }
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int64 { return t.size }
+
+// Insert adds a key/TID pair. Duplicate keys are kept; among equal keys,
+// insertion order is preserved left to right.
+func (t *Tree) Insert(key int32, tid storage.TID) {
+	r := t.root
+	if len(r.items) == 2*degree-1 {
+		newRoot := &node{children: []*node{r}, subtreeLen: r.subtreeLen}
+		newRoot.splitChild(0)
+		t.root = newRoot
+	}
+	t.root.insertNonFull(item{key: key, tid: tid})
+	t.size++
+}
+
+// splitChild splits the full child at index i, lifting its median into n.
+func (n *node) splitChild(i int) {
+	child := n.children[i]
+	mid := degree - 1
+	median := child.items[mid]
+
+	right := &node{}
+	right.items = append(right.items, child.items[mid+1:]...)
+	child.items = child.items[:mid]
+	if !child.leaf() {
+		right.children = append(right.children, child.children[degree:]...)
+		child.children = child.children[:degree]
+	}
+	child.recount()
+	right.recount()
+
+	n.items = append(n.items, item{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = median
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+func (n *node) recount() {
+	total := int64(len(n.items))
+	for _, c := range n.children {
+		total += c.subtreeLen
+	}
+	n.subtreeLen = total
+}
+
+// insertPos finds the position after all items with key <= k would sit...
+// For duplicate stability we insert after existing equal keys.
+func insertPos(items []item, k int32) int {
+	return sort.Search(len(items), func(i int) bool { return items[i].key > k })
+}
+
+func (n *node) insertNonFull(it item) {
+	n.subtreeLen++
+	if n.leaf() {
+		i := insertPos(n.items, it.key)
+		n.items = append(n.items, item{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = it
+		return
+	}
+	i := insertPos(n.items, it.key)
+	if len(n.children[i].items) == 2*degree-1 {
+		n.splitChild(i)
+		// The freshly lifted median sits at position i. Descend right on
+		// equal keys too: duplicates must land after existing ones to
+		// keep insertion order stable under Visit.
+		if it.key >= n.items[i].key {
+			i++
+		}
+	}
+	n.children[i].insertNonFull(it)
+}
+
+// Visit calls fn for every item with lo <= key <= hi, in ascending key
+// order, until fn returns false. It returns false if the scan stopped
+// early.
+func (t *Tree) Visit(lo, hi int32, fn func(key int32, tid storage.TID) bool) bool {
+	if lo > hi {
+		return true
+	}
+	return t.root.visit(lo, hi, fn)
+}
+
+func (n *node) visit(lo, hi int32, fn func(int32, storage.TID) bool) bool {
+	// first item with key >= lo
+	start := sort.Search(len(n.items), func(i int) bool { return n.items[i].key >= lo })
+	if n.leaf() {
+		for i := start; i < len(n.items) && n.items[i].key <= hi; i++ {
+			if !fn(n.items[i].key, n.items[i].tid) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := start; i <= len(n.items); i++ {
+		if !n.children[i].visit(lo, hi, fn) {
+			return false
+		}
+		if i < len(n.items) {
+			if n.items[i].key > hi {
+				return true
+			}
+			if n.items[i].key >= lo {
+				if !fn(n.items[i].key, n.items[i].tid) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// CountRange returns the number of items with lo <= key <= hi in
+// O(log n) time using subtree counts.
+func (t *Tree) CountRange(lo, hi int32) int64 {
+	if lo > hi {
+		return 0
+	}
+	return t.root.countLE(hi) - t.root.countLT(lo)
+}
+
+// countLE counts items with key <= k.
+func (n *node) countLE(k int32) int64 {
+	if n == nil {
+		return 0
+	}
+	// position of first item with key > k
+	i := sort.Search(len(n.items), func(j int) bool { return n.items[j].key > k })
+	total := int64(i)
+	if n.leaf() {
+		return total
+	}
+	for j := 0; j < i; j++ {
+		total += n.children[j].subtreeLen
+	}
+	total += n.children[i].countLE(k)
+	return total
+}
+
+// countLT counts items with key < k.
+func (n *node) countLT(k int32) int64 {
+	if n == nil {
+		return 0
+	}
+	i := sort.Search(len(n.items), func(j int) bool { return n.items[j].key >= k })
+	total := int64(i)
+	if n.leaf() {
+		return total
+	}
+	for j := 0; j < i; j++ {
+		total += n.children[j].subtreeLen
+	}
+	total += n.children[i].countLT(k)
+	return total
+}
+
+// Bounds returns the smallest and largest keys. ok is false when empty.
+func (t *Tree) Bounds() (lo, hi int32, ok bool) {
+	if t.size == 0 {
+		return 0, 0, false
+	}
+	n := t.root
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	lo = n.items[0].key
+	n = t.root
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	hi = n.items[len(n.items)-1].key
+	return lo, hi, true
+}
+
+// Interval is a closed key range [Lo, Hi].
+type Interval struct {
+	Lo, Hi int32
+}
+
+// String implements fmt.Stringer.
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d]", iv.Lo, iv.Hi) }
+
+// Empty reports whether the interval contains no keys.
+func (iv Interval) Empty() bool { return iv.Lo > iv.Hi }
+
+// SplitBalanced divides [lo, hi] into up to k sub-intervals with roughly
+// equal numbers of indexed keys, using the tree's distribution. This is
+// how the master backend builds range partitions for parallel index
+// scans (§2.4: "we try to find a balanced range partition with data
+// distribution information ... in the root node of an index").
+// Sub-intervals are contiguous, disjoint, and cover [lo, hi] exactly.
+// Fewer than k intervals are returned when the range holds fewer than k
+// distinct split points.
+func (t *Tree) SplitBalanced(lo, hi int32, k int) []Interval {
+	if k <= 1 || lo > hi {
+		return []Interval{{Lo: lo, Hi: hi}}
+	}
+	total := t.CountRange(lo, hi)
+	if total == 0 {
+		return []Interval{{Lo: lo, Hi: hi}}
+	}
+	out := make([]Interval, 0, k)
+	curLo := lo
+	served := t.root.countLT(lo) // items with key < current boundary
+	for part := 1; part < k; part++ {
+		// Find the smallest key b such that count(key <= b) - countLT(lo)
+		// >= part * total / k; the part ends at b.
+		target := served + (total*int64(part))/int64(k)
+		b := t.searchCountLE(target)
+		if b < curLo {
+			b = curLo
+		}
+		if b >= hi {
+			break
+		}
+		out = append(out, Interval{Lo: curLo, Hi: b})
+		curLo = b + 1
+	}
+	out = append(out, Interval{Lo: curLo, Hi: hi})
+	return out
+}
+
+// searchCountLE returns the smallest key b with countLE(b) >= target.
+// It binary-searches the key space using the O(log n) counting query.
+func (t *Tree) searchCountLE(target int64) int32 {
+	lo, hi, ok := t.Bounds()
+	if !ok {
+		return 0
+	}
+	for lo < hi {
+		// mid = lo + (hi-lo)/2: overflow-safe, and because hi-lo >= 0 the
+		// truncating division floors, so mid < hi and both branches make
+		// progress. The naive (lo+hi)/2 truncates toward zero, which for
+		// negative key ranges can yield mid == hi and loop forever.
+		mid := lo + int32((int64(hi)-int64(lo))/2)
+		if t.root.countLE(mid) >= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Depth returns the height of the tree (1 for a lone root). Exposed for
+// tests and for the cost model's index-descent charge.
+func (t *Tree) Depth() int {
+	d := 1
+	for n := t.root; !n.leaf(); n = n.children[0] {
+		d++
+	}
+	return d
+}

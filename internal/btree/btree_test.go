@@ -1,0 +1,315 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"xprs/internal/storage"
+)
+
+func tid(i int) storage.TID { return storage.TID{Page: int64(i / 10), Slot: int32(i % 10)} }
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatal("empty len")
+	}
+	if _, _, ok := tr.Bounds(); ok {
+		t.Fatal("empty bounds ok")
+	}
+	if tr.CountRange(0, 100) != 0 {
+		t.Fatal("empty count")
+	}
+	called := false
+	tr.Visit(0, 100, func(int32, storage.TID) bool { called = true; return true })
+	if called {
+		t.Fatal("visit on empty called fn")
+	}
+	if tr.Depth() != 1 {
+		t.Fatal("empty depth")
+	}
+}
+
+func TestInsertAndVisitOrdered(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(1))
+	const n = 5000
+	keys := make([]int32, n)
+	for i := range keys {
+		keys[i] = int32(rng.Intn(2000) - 1000)
+		tr.Insert(keys[i], tid(i))
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	var got []int32
+	tr.Visit(-1000, 1000, func(k int32, _ storage.TID) bool {
+		got = append(got, k)
+		return true
+	})
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if len(got) != n {
+		t.Fatalf("visited %d of %d", len(got), n)
+	}
+	for i := range got {
+		if got[i] != keys[i] {
+			t.Fatalf("key %d = %d, want %d", i, got[i], keys[i])
+		}
+	}
+	if tr.Depth() < 2 {
+		t.Fatalf("depth = %d for %d keys", tr.Depth(), n)
+	}
+}
+
+func TestVisitSubrangeAndEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(int32(i), tid(i))
+	}
+	var got []int32
+	tr.Visit(10, 19, func(k int32, _ storage.TID) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("subrange = %v", got)
+	}
+	count := 0
+	stopped := tr.Visit(0, 99, func(k int32, _ storage.TID) bool {
+		count++
+		return count < 5
+	})
+	if stopped || count != 5 {
+		t.Fatalf("early stop: stopped=%v count=%d", stopped, count)
+	}
+	if !tr.Visit(50, 40, func(int32, storage.TID) bool { return true }) {
+		t.Fatal("inverted range should be a complete no-op visit")
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := New()
+	for i := 0; i < 500; i++ {
+		tr.Insert(7, tid(i))
+	}
+	tr.Insert(3, tid(999))
+	tr.Insert(11, tid(998))
+	if got := tr.CountRange(7, 7); got != 500 {
+		t.Fatalf("count dup = %d", got)
+	}
+	seen := 0
+	tr.Visit(7, 7, func(k int32, _ storage.TID) bool {
+		if k != 7 {
+			t.Fatalf("visited key %d", k)
+		}
+		seen++
+		return true
+	})
+	if seen != 500 {
+		t.Fatalf("visited %d dups", seen)
+	}
+}
+
+func TestCountRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(int32(i*2), tid(i)) // even keys 0..1998
+	}
+	cases := []struct {
+		lo, hi int32
+		want   int64
+	}{
+		{0, 1998, 1000},
+		{1, 1998, 999},
+		{0, 0, 1},
+		{1, 1, 0},
+		{500, 999, 250},
+		{-100, -1, 0},
+		{2000, 3000, 0},
+		{10, 5, 0},
+	}
+	for _, c := range cases {
+		if got := tr.CountRange(c.lo, c.hi); got != c.want {
+			t.Errorf("CountRange(%d,%d) = %d, want %d", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	tr := New()
+	for _, k := range []int32{5, -3, 99, 0, 42} {
+		tr.Insert(k, storage.TID{})
+	}
+	lo, hi, ok := tr.Bounds()
+	if !ok || lo != -3 || hi != 99 {
+		t.Fatalf("bounds = %d,%d,%v", lo, hi, ok)
+	}
+}
+
+func TestSplitBalancedUniform(t *testing.T) {
+	tr := New()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		tr.Insert(int32(i), tid(i))
+	}
+	for _, k := range []int{2, 3, 4, 7, 8} {
+		ivs := tr.SplitBalanced(0, n-1, k)
+		if len(ivs) != k {
+			t.Fatalf("k=%d: got %d intervals: %v", k, len(ivs), ivs)
+		}
+		// Coverage: contiguous, disjoint, spanning [0, n-1].
+		if ivs[0].Lo != 0 || ivs[len(ivs)-1].Hi != n-1 {
+			t.Fatalf("k=%d: span %v", k, ivs)
+		}
+		total := int64(0)
+		for i, iv := range ivs {
+			if i > 0 && iv.Lo != ivs[i-1].Hi+1 {
+				t.Fatalf("k=%d: gap between %v and %v", k, ivs[i-1], iv)
+			}
+			c := tr.CountRange(iv.Lo, iv.Hi)
+			total += c
+			// Balanced within 20% of ideal for uniform data.
+			ideal := float64(n) / float64(k)
+			if float64(c) < ideal*0.8 || float64(c) > ideal*1.2 {
+				t.Fatalf("k=%d: interval %v holds %d keys, ideal %f", k, iv, c, ideal)
+			}
+		}
+		if total != n {
+			t.Fatalf("k=%d: intervals cover %d keys", k, total)
+		}
+	}
+}
+
+func TestSplitBalancedSkewed(t *testing.T) {
+	// 90% of keys at the low end: splits must still balance counts.
+	tr := New()
+	for i := 0; i < 9000; i++ {
+		tr.Insert(int32(i%10), tid(i))
+	}
+	for i := 0; i < 1000; i++ {
+		tr.Insert(int32(1000+i), tid(i))
+	}
+	ivs := tr.SplitBalanced(0, 1999, 4)
+	var counts []int64
+	for _, iv := range ivs {
+		counts = append(counts, tr.CountRange(iv.Lo, iv.Hi))
+	}
+	// With duplicates a perfect split may be impossible, but no interval
+	// may hold more than half the data when 4 were requested.
+	for i, c := range counts {
+		if c > 5500 {
+			t.Fatalf("interval %d (%v) holds %d of 10000 keys: %v", i, ivs[i], c, counts)
+		}
+	}
+}
+
+func TestSplitBalancedEdgeCases(t *testing.T) {
+	tr := New()
+	tr.Insert(5, storage.TID{})
+	if ivs := tr.SplitBalanced(0, 10, 1); len(ivs) != 1 {
+		t.Fatalf("k=1: %v", ivs)
+	}
+	if ivs := tr.SplitBalanced(10, 0, 4); len(ivs) != 1 {
+		t.Fatalf("inverted: %v", ivs)
+	}
+	if ivs := tr.SplitBalanced(100, 200, 4); len(ivs) != 1 {
+		t.Fatalf("empty range: %v", ivs)
+	}
+	// One key cannot be split into 4 non-empty parts.
+	ivs := tr.SplitBalanced(0, 10, 4)
+	total := int64(0)
+	for _, iv := range ivs {
+		total += tr.CountRange(iv.Lo, iv.Hi)
+	}
+	if total != 1 {
+		t.Fatalf("single-key split lost keys: %v", ivs)
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	if (Interval{1, 0}).Empty() != true || (Interval{0, 0}).Empty() != false {
+		t.Fatal("Empty()")
+	}
+	if (Interval{1, 2}).String() != "[1,2]" {
+		t.Fatal("String()")
+	}
+}
+
+// Property: CountRange always equals the number of keys Visit yields.
+func TestPropertyCountMatchesVisit(t *testing.T) {
+	f := func(keys []int32, lo, hi int32) bool {
+		if len(keys) > 500 {
+			keys = keys[:500]
+		}
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		tr := New()
+		for i, k := range keys {
+			tr.Insert(k, tid(i))
+		}
+		var visited int64
+		tr.Visit(lo, hi, func(k int32, _ storage.TID) bool {
+			if k < lo || k > hi {
+				t.Fatalf("visited %d outside [%d,%d]", k, lo, hi)
+			}
+			visited++
+			return true
+		})
+		return visited == tr.CountRange(lo, hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SplitBalanced partitions cover the range exactly with no
+// overlap, for arbitrary key sets.
+func TestPropertySplitPartition(t *testing.T) {
+	f := func(keys []int32, kRaw uint8) bool {
+		if len(keys) > 400 {
+			keys = keys[:400]
+		}
+		k := int(kRaw%8) + 1
+		tr := New()
+		for i, key := range keys {
+			tr.Insert(key%1000, tid(i))
+		}
+		lo, hi := int32(-1000), int32(1000)
+		ivs := tr.SplitBalanced(lo, hi, k)
+		if ivs[0].Lo != lo || ivs[len(ivs)-1].Hi != hi {
+			return false
+		}
+		var total int64
+		for i, iv := range ivs {
+			if i > 0 && iv.Lo != ivs[i-1].Hi+1 {
+				return false
+			}
+			total += tr.CountRange(iv.Lo, iv.Hi)
+		}
+		return total == tr.CountRange(lo, hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: insertion order of duplicate keys is preserved (stability),
+// which the executor relies on for deterministic results.
+func TestPropertyDuplicateStability(t *testing.T) {
+	tr := New()
+	const n = 300
+	for i := 0; i < n; i++ {
+		tr.Insert(1, storage.TID{Page: int64(i)})
+	}
+	prev := int64(-1)
+	tr.Visit(1, 1, func(_ int32, td storage.TID) bool {
+		if td.Page <= prev {
+			t.Fatalf("duplicate order violated: %d after %d", td.Page, prev)
+		}
+		prev = td.Page
+		return true
+	})
+}

@@ -1,0 +1,39 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+
+	"xprs/internal/storage"
+)
+
+// TestSplitBalancedNegativeKeys is a regression test for an infinite
+// loop in searchCountLE: with negative key ranges, a truncating midpoint
+// computation could stall the binary search (mid == hi forever). Found
+// by TestPropertySplitPartition under a randomized quick seed.
+func TestSplitBalancedNegativeKeys(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50)
+		tr := New()
+		for i := 0; i < n; i++ {
+			tr.Insert(int32(rng.Intn(2000)-1000), storage.TID{Page: int64(i)})
+		}
+		k := rng.Intn(8) + 1
+		ivs := tr.SplitBalanced(-1000, 1000, k)
+		// Coverage invariants (same as the property test).
+		if ivs[0].Lo != -1000 || ivs[len(ivs)-1].Hi != 1000 {
+			t.Fatalf("seed %d: span %v", seed, ivs)
+		}
+		var total int64
+		for i, iv := range ivs {
+			if i > 0 && iv.Lo != ivs[i-1].Hi+1 {
+				t.Fatalf("seed %d: gap at %d: %v", seed, i, ivs)
+			}
+			total += tr.CountRange(iv.Lo, iv.Hi)
+		}
+		if total != tr.CountRange(-1000, 1000) {
+			t.Fatalf("seed %d: covered %d of %d keys", seed, total, tr.Len())
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math"
+)
+
+// Pair is the scheduler's evaluation of running an IO-bound task and a
+// CPU-bound task side by side (§2.3, §2.5).
+type Pair struct {
+	// IO and CPU are the two tasks, classified.
+	IO, CPU *Task
+	// Xi and Xj are the continuous balance-point degrees for IO and CPU.
+	Xi, Xj float64
+	// Ni and Nj are the integer degrees execution uses.
+	Ni, Nj int
+	// B is the effective aggregate disk bandwidth at the balance point
+	// (equals Env.B unless the sequential-IO refinement lowered it).
+	B float64
+	// TInter is the §2.5 estimate of the pair's elapsed time.
+	TInter float64
+	// Worthwhile is the §2.5 step-4 test: TInter < TIntra(i)+TIntra(j).
+	Worthwhile bool
+}
+
+// EffectiveBandwidth evaluates the §2.3 refinement: the aggregate
+// bandwidth the array sustains when two tasks issue ioI and ioJ io/s.
+// For two sequential streams the paper interpolates linearly in the
+// demand ratio: B = Br + (1-ratio)(Bs-Br) with ratio = min/max, so a
+// dominant stream sees Bs and an even interleave sees Br. Two random
+// streams always see Br-class service. A mixed pair degrades the
+// sequential stream by the random stream's share f (an extension the
+// paper sketches: "similarly, we can also compute the correct IO-CPU
+// balance point between a sequential i/o task and a random i/o task").
+func (e Env) EffectiveBandwidth(ioI, ioJ float64, seqI, seqJ bool) float64 {
+	switch {
+	case seqI && seqJ:
+		lo, hi := ioI, ioJ
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi <= 0 {
+			return e.Bs
+		}
+		ratio := lo / hi
+		return e.Br + (1-ratio)*(e.Bs-e.Br)
+	case !seqI && !seqJ:
+		return e.brRand()
+	default:
+		// One sequential, one random stream. f is the random stream's
+		// demand share; the sequential stream keeps (1-f) of the head's
+		// locality. Random streams defeat readahead, so the floor is the
+		// raw random bandwidth.
+		rnd := ioI
+		if seqI {
+			rnd = ioJ
+		}
+		total := ioI + ioJ
+		if total <= 0 {
+			return e.Bs
+		}
+		f := rnd / total
+		br := e.brRand()
+		return br + (1-f)*(1-f)*(e.Bs-br)
+	}
+}
+
+// BalancePoint solves the §2.3 system for one IO-bound and one CPU-bound
+// task:
+//
+//	x_i + x_j = N
+//	C_i·x_i + C_j·x_j = B
+//
+// which gives x_i = (B - C_j·N)/(C_i - C_j), x_j = (C_i·N - B)/(C_i - C_j).
+// When either task does disk IO, B itself depends on the split (§2.3's
+// third equation); the combined system is solved by damped fixed-point
+// iteration on B, which converges because x_i is monotone in B and the
+// effective bandwidth is a bounded monotone map of the demand ratio.
+//
+// ok is false when no positive solution exists — which per §2.3 happens
+// exactly when the tasks are not on opposite sides of the (effective)
+// threshold, i.e. inter-operation parallelism cannot reach the corner.
+func (e Env) BalancePoint(io, cpu *Task) (xi, xj, b float64, ok bool) {
+	ci, cj := io.Rate(), cpu.Rate()
+	if ci <= cj {
+		return 0, 0, 0, false
+	}
+	n := float64(e.NProcs)
+	b = e.B
+	for iter := 0; iter < 100; iter++ {
+		xi = (b - cj*n) / (ci - cj)
+		xj = n - xi
+		if xi <= 0 || xj <= 0 {
+			// The pair cannot balance at this bandwidth. Try once with
+			// the bandwidth the clamped split would actually see; if it
+			// still fails, give up.
+			return 0, 0, b, false
+		}
+		bNew := e.EffectiveBandwidth(ci*xi, cj*xj, io.SeqIO, cpu.SeqIO)
+		if math.Abs(bNew-b) < 1e-3 {
+			b = bNew
+			break
+		}
+		b = (b + bNew) / 2
+	}
+	xi = (b - cj*n) / (ci - cj)
+	xj = n - xi
+	if xi <= 0 || xj <= 0 {
+		return 0, 0, b, false
+	}
+	return xi, xj, b, true
+}
+
+// TInter estimates the elapsed time of running the pair at degrees
+// (xi, xj) per §2.5:
+//
+//	TInter(fi, fj) = min(Ti/xi, Tj/xj) + Tij/maxp_ij
+//
+// where Tij is the sequential-time remainder of whichever task survives
+// and maxp_ij its maximum intra-operation parallelism — i.e. after one
+// task ends, the survivor is immediately adjusted to run alone at full
+// tilt (the INTER-WITH-ADJ behaviour this estimate prices).
+func (e Env) TInter(io, cpu *Task, xi, xj float64) float64 {
+	if xi <= 0 || xj <= 0 {
+		return math.Inf(1)
+	}
+	ti, tj := io.T/xi, cpu.T/xj
+	first := math.Min(ti, tj)
+	var rem float64
+	var survivor *Task
+	if ti > tj {
+		// CPU task finishes first; the IO task has consumed xi·tj of its
+		// Ti sequential seconds.
+		rem = io.T - xi*tj
+		survivor = io
+	} else {
+		rem = cpu.T - xj*ti
+		survivor = cpu
+	}
+	if rem < 0 {
+		rem = 0
+	}
+	return first + rem/e.MaxParallelism(survivor)
+}
+
+// EvaluatePair classifies two tasks, computes their balance point and
+// prices inter- versus intra-operation execution (§2.5 steps 3-4). The
+// returned Pair orders the tasks as (IO, CPU). ok is false when the two
+// tasks are on the same side of the threshold or no balance point
+// exists; such pairs run serially with intra-operation parallelism.
+func (e Env) EvaluatePair(a, b *Task) (Pair, bool) {
+	var io, cpu *Task
+	switch {
+	case e.IOBound(a) && !e.IOBound(b):
+		io, cpu = a, b
+	case e.IOBound(b) && !e.IOBound(a):
+		io, cpu = b, a
+	default:
+		return Pair{}, false
+	}
+	xi, xj, beff, ok := e.BalancePoint(io, cpu)
+	if !ok {
+		return Pair{}, false
+	}
+	ni, nj := e.RoundDegrees(xi, xj)
+	// Integer-feasibility: rounding the balance point up can push the
+	// pair's IO demand past the effective bandwidth (a marginal x_i < 1
+	// becomes a whole slave), in which case the pair would thrash the
+	// disks instead of balancing them. Shifting a processor from the
+	// IO-bound side to the CPU-bound side strictly lowers demand (C_i >
+	// C_j), so walk down until the split fits or the IO side is empty.
+	feasible := false
+	for ni >= 1 {
+		demand := io.Rate()*float64(ni) + cpu.Rate()*float64(nj)
+		cap_ := e.EffectiveBandwidth(io.Rate()*float64(ni), cpu.Rate()*float64(nj), io.SeqIO, cpu.SeqIO)
+		if demand <= 1.02*cap_ {
+			feasible = true
+			break
+		}
+		if ni == 1 || nj >= e.NProcs {
+			break
+		}
+		ni--
+		nj++
+	}
+	p := Pair{
+		IO: io, CPU: cpu,
+		Xi: xi, Xj: xj,
+		Ni: ni, Nj: nj,
+		B:      beff,
+		TInter: e.TInter(io, cpu, float64(ni), float64(nj)),
+	}
+	// The §2.5 step-4 test, evaluated at the integer degrees execution
+	// will actually use.
+	p.Worthwhile = feasible && p.TInter < e.TIntra(io)+e.TIntra(cpu)
+	return p, true
+}
+
+// RoundDegrees converts the continuous balance point into integer
+// degrees with ni + nj <= N and both at least 1 (DESIGN.md §5.4).
+func (e Env) RoundDegrees(xi, xj float64) (ni, nj int) {
+	ni = int(math.Floor(xi + 0.5))
+	nj = int(math.Floor(xj + 0.5))
+	if ni < 1 {
+		ni = 1
+	}
+	if nj < 1 {
+		nj = 1
+	}
+	for ni+nj > e.NProcs {
+		if ni >= nj && ni > 1 {
+			ni--
+		} else if nj > 1 {
+			nj--
+		} else {
+			break
+		}
+	}
+	return ni, nj
+}

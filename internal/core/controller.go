@@ -1,0 +1,523 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Policy selects one of the three scheduling algorithms evaluated in §3.
+type Policy int
+
+const (
+	// IntraOnly executes tasks one by one using intra-operation
+	// parallelism only.
+	IntraOnly Policy = iota
+	// InterNoAdj runs IO/CPU pairs but never adjusts a running task's
+	// degree; on a completion it merely starts the queued task that gets
+	// closest to the maximum-utilization point with the processors left.
+	InterNoAdj
+	// InterAdj is the paper's algorithm: pairs at the balance point with
+	// dynamic parallelism adjustment on every completion and arrival.
+	InterAdj
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case IntraOnly:
+		return "INTRA-ONLY"
+	case InterNoAdj:
+		return "INTER-WITHOUT-ADJ"
+	case InterAdj:
+		return "INTER-WITH-ADJ"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// PairingHeuristic selects which IO-bound and CPU-bound tasks to pair.
+type PairingHeuristic int
+
+const (
+	// MostExtreme pairs the most IO-bound with the most CPU-bound task
+	// (§2.5: keeps the residual queues near the diagonal).
+	MostExtreme PairingHeuristic = iota
+	// FIFOPairing pairs queue heads in arrival order (the ablation).
+	FIFOPairing
+)
+
+// Options tune the controller beyond the policy.
+type Options struct {
+	// SJF orders queues shortest-job-first, the §2.5 multi-user
+	// heuristic for minimizing individual response times.
+	SJF bool
+	// Pairing selects the pairing heuristic (default MostExtreme).
+	Pairing PairingHeuristic
+	// MemoryBudget caps the combined MemBytes of concurrently running
+	// tasks (the §5 future-work extension: "we cannot run two hashjoins
+	// in parallel unless there is enough memory for both hash tables").
+	// Zero disables the constraint. A single task always runs.
+	MemoryBudget int64
+}
+
+// Start instructs the engine to launch a task with the given degree of
+// intra-operation parallelism.
+type Start struct {
+	Task   *Task
+	Degree int
+}
+
+// Adjust instructs the engine to change a running task's degree through
+// the §2.4 dynamic-adjustment protocol.
+type Adjust struct {
+	Task   *Task
+	Degree int
+}
+
+// Decision is the controller's response to an event: tasks to start and
+// running tasks to adjust, to be applied in order.
+type Decision struct {
+	Starts  []Start
+	Adjusts []Adjust
+}
+
+// Empty reports whether the decision contains no actions.
+func (d Decision) Empty() bool { return len(d.Starts) == 0 && len(d.Adjusts) == 0 }
+
+// runningInfo tracks one task the engine is currently executing.
+type runningInfo struct {
+	task   *Task
+	degree int
+}
+
+// Controller is the scheduler's state machine. The engine reports
+// arrivals (Submit) and completions (Complete); the controller answers
+// with Decisions. It works equally for a fixed task set and a continuous
+// arrival sequence (§2.5: "all we need to do is to represent S_io and
+// S_cpu as queues").
+type Controller struct {
+	env     Env
+	policy  Policy
+	opts    Options
+	sio     []*Task // queued IO-bound tasks
+	scpu    []*Task // queued CPU-bound tasks
+	running []runningInfo
+}
+
+// NewController creates a controller. It panics on an invalid Env
+// (construction errors are programmer errors).
+func NewController(env Env, policy Policy, opts Options) *Controller {
+	if err := env.Validate(); err != nil {
+		panic(err)
+	}
+	return &Controller{env: env, policy: policy, opts: opts}
+}
+
+// Env returns the planning environment.
+func (c *Controller) Env() Env { return c.env }
+
+// Policy returns the active policy.
+func (c *Controller) Policy() Policy { return c.policy }
+
+// Submit enqueues tasks (classifying each as IO- or CPU-bound) and
+// reschedules.
+func (c *Controller) Submit(tasks ...*Task) Decision {
+	for _, t := range tasks {
+		if c.env.IOBound(t) {
+			c.sio = append(c.sio, t)
+		} else {
+			c.scpu = append(c.scpu, t)
+		}
+	}
+	return c.schedule()
+}
+
+// Complete reports that a running task finished and reschedules.
+func (c *Controller) Complete(t *Task) Decision {
+	found := false
+	for i, r := range c.running {
+		if r.task.ID == t.ID {
+			c.running = append(c.running[:i], c.running[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		panic(fmt.Sprintf("core: Complete(%d) for a task that is not running", t.ID))
+	}
+	return c.schedule()
+}
+
+// Idle reports whether nothing is running and nothing is queued.
+func (c *Controller) Idle() bool {
+	return len(c.running) == 0 && len(c.sio) == 0 && len(c.scpu) == 0
+}
+
+// QueueLengths returns the numbers of queued IO-bound and CPU-bound
+// tasks.
+func (c *Controller) QueueLengths() (io, cpu int) { return len(c.sio), len(c.scpu) }
+
+// Running returns the running tasks and their degrees in start order.
+func (c *Controller) Running() []Start {
+	out := make([]Start, len(c.running))
+	for i, r := range c.running {
+		out[i] = Start{Task: r.task, Degree: r.degree}
+	}
+	return out
+}
+
+// schedule applies the active policy to the current state.
+func (c *Controller) schedule() Decision {
+	switch c.policy {
+	case IntraOnly:
+		return c.scheduleIntraOnly()
+	case InterNoAdj:
+		return c.scheduleInterNoAdj()
+	default:
+		return c.scheduleInterAdj()
+	}
+}
+
+// --- INTRA-ONLY -----------------------------------------------------------
+
+func (c *Controller) scheduleIntraOnly() Decision {
+	var d Decision
+	if len(c.running) > 0 {
+		return d
+	}
+	t := c.popAny()
+	if t == nil {
+		return d
+	}
+	d.Starts = append(d.Starts, c.start(t, c.env.DegreeFor(c.env.MaxParallelism(t))))
+	return d
+}
+
+// --- INTER-WITH-ADJ (§2.5) -------------------------------------------------
+
+func (c *Controller) scheduleInterAdj() Decision {
+	var d Decision
+	switch len(c.running) {
+	case 2:
+		return d
+	case 1:
+		r := &c.running[0]
+		partner := c.popOppositeWithMem(r.task)
+		if partner == nil {
+			// Step 8 territory: no partner available — run the survivor
+			// at its own maximum parallelism (the dynamic adjustment that
+			// INTER-WITHOUT-ADJ lacks).
+			c.adjustTo(&d, r, c.env.DegreeFor(c.env.MaxParallelism(r.task)))
+			return d
+		}
+		pair, ok := c.env.EvaluatePair(r.task, partner)
+		if ok && pair.Worthwhile {
+			nr, np := pair.Ni, pair.Nj
+			if pair.IO != r.task {
+				nr, np = pair.Nj, pair.Ni
+			}
+			c.adjustTo(&d, r, nr)
+			d.Starts = append(d.Starts, c.start(partner, np))
+			return d
+		}
+		// Pairing rejected: the survivor takes the machine; the partner
+		// returns to its queue head to run alone later (step 4's serial
+		// order).
+		c.pushFront(partner)
+		c.adjustTo(&d, r, c.env.DegreeFor(c.env.MaxParallelism(r.task)))
+		return d
+	default:
+		ti := c.popIO()
+		tj := c.popCPU()
+		switch {
+		case ti != nil && tj != nil:
+			pair, ok := c.env.EvaluatePair(ti, tj)
+			if ok && pair.Worthwhile && ti.MemBytes+tj.MemBytes <= c.memBudgetOrMax() {
+				d.Starts = append(d.Starts,
+					c.start(pair.IO, pair.Ni),
+					c.start(pair.CPU, pair.Nj))
+				return d
+			}
+			// Step 4 else-branch: execute f_i alone with maxp until
+			// completion, then f_j alone (f_j re-queues; the next
+			// completion reschedules it).
+			c.pushFront(tj)
+			d.Starts = append(d.Starts, c.start(ti, c.env.DegreeFor(c.env.MaxParallelism(ti))))
+			return d
+		case ti != nil:
+			d.Starts = append(d.Starts, c.start(ti, c.env.DegreeFor(c.env.MaxParallelism(ti))))
+			return d
+		case tj != nil:
+			d.Starts = append(d.Starts, c.start(tj, c.env.DegreeFor(c.env.MaxParallelism(tj))))
+			return d
+		}
+		return d
+	}
+}
+
+// --- INTER-WITHOUT-ADJ (§3) -------------------------------------------------
+
+func (c *Controller) scheduleInterNoAdj() Decision {
+	var d Decision
+	switch len(c.running) {
+	case 2:
+		return d
+	case 1:
+		// "The master backend will simply start the task that can get
+		// closest to the maximum utilization point if executed using the
+		// currently available processors in parallel with the running
+		// task" — and never touches the running task's degree.
+		r := c.running[0]
+		avail := c.env.NProcs - r.degree
+		if avail < 1 {
+			return d
+		}
+		t := c.popBestFill(r, avail)
+		if t == nil {
+			return d
+		}
+		deg := c.env.DegreeFor(math.Min(float64(avail), c.env.MaxParallelism(t)))
+		d.Starts = append(d.Starts, c.start(t, deg))
+		return d
+	default:
+		// Fresh start: same pairing as INTER-WITH-ADJ.
+		ti := c.popIO()
+		tj := c.popCPU()
+		switch {
+		case ti != nil && tj != nil:
+			pair, ok := c.env.EvaluatePair(ti, tj)
+			if ok && pair.Worthwhile && ti.MemBytes+tj.MemBytes <= c.memBudgetOrMax() {
+				d.Starts = append(d.Starts,
+					c.start(pair.IO, pair.Ni),
+					c.start(pair.CPU, pair.Nj))
+				return d
+			}
+			c.pushFront(tj)
+			d.Starts = append(d.Starts, c.start(ti, c.env.DegreeFor(c.env.MaxParallelism(ti))))
+			return d
+		case ti != nil:
+			d.Starts = append(d.Starts, c.start(ti, c.env.DegreeFor(c.env.MaxParallelism(ti))))
+			return d
+		case tj != nil:
+			d.Starts = append(d.Starts, c.start(tj, c.env.DegreeFor(c.env.MaxParallelism(tj))))
+			return d
+		}
+		return d
+	}
+}
+
+// popBestFill removes and returns the queued task that, started at the
+// available degree, lands the system closest to the maximum-utilization
+// corner (N, B) alongside the running task.
+func (c *Controller) popBestFill(r runningInfo, avail int) *Task {
+	best := -1
+	bestQueue := 0 // 0 = sio, 1 = scpu
+	bestDist := math.Inf(1)
+	consider := func(queue int, idx int, t *Task) {
+		if !c.memFits(t) {
+			return
+		}
+		x := math.Min(float64(avail), c.env.MaxParallelism(t))
+		deg := float64(c.env.DegreeFor(x))
+		procs := float64(r.degree) + deg
+		ios := r.task.Rate()*float64(r.degree) + t.Rate()*deg
+		// Normalized distance to the corner (N, B).
+		dn := (float64(c.env.NProcs) - procs) / float64(c.env.NProcs)
+		db := (c.env.B - ios) / c.env.B
+		if db < 0 {
+			db = -db // overshooting bandwidth is as bad as undershooting
+		}
+		dist := dn*dn + db*db
+		if dist < bestDist {
+			bestDist, best, bestQueue = dist, idx, queue
+		}
+	}
+	for i, t := range c.sio {
+		consider(0, i, t)
+	}
+	for i, t := range c.scpu {
+		consider(1, i, t)
+	}
+	if best < 0 {
+		return nil
+	}
+	if bestQueue == 0 {
+		t := c.sio[best]
+		c.sio = append(c.sio[:best], c.sio[best+1:]...)
+		return t
+	}
+	t := c.scpu[best]
+	c.scpu = append(c.scpu[:best], c.scpu[best+1:]...)
+	return t
+}
+
+// --- queue helpers ----------------------------------------------------------
+
+func (c *Controller) start(t *Task, degree int) Start {
+	c.running = append(c.running, runningInfo{task: t, degree: degree})
+	return Start{Task: t, Degree: degree}
+}
+
+func (c *Controller) adjustTo(d *Decision, r *runningInfo, degree int) {
+	if r.degree == degree {
+		return
+	}
+	r.degree = degree
+	d.Adjusts = append(d.Adjusts, Adjust{Task: r.task, Degree: degree})
+}
+
+// popOpposite removes the next task from the class opposite to t's:
+// steps 6-7 of §2.5 (when the IO-bound task finishes, draw a new one
+// from S_io to pair with the still-running CPU-bound task, and vice
+// versa).
+func (c *Controller) popOpposite(t *Task) *Task {
+	if c.env.IOBound(t) {
+		return c.popCPU()
+	}
+	return c.popIO()
+}
+
+// pushFront returns a popped task to the head of its queue.
+func (c *Controller) pushFront(t *Task) {
+	if c.env.IOBound(t) {
+		c.sio = append([]*Task{t}, c.sio...)
+	} else {
+		c.scpu = append([]*Task{t}, c.scpu...)
+	}
+}
+
+// popIO removes the next IO-bound task per the heuristic: the most
+// IO-bound (greatest rate), or the shortest when SJF is set, or the
+// queue head under FIFOPairing.
+func (c *Controller) popIO() *Task {
+	return popBy(&c.sio, c.opts, func(a, b *Task) bool { return a.Rate() > b.Rate() })
+}
+
+// popCPU removes the next CPU-bound task: the most CPU-bound (smallest
+// rate), or per SJF/FIFO options.
+func (c *Controller) popCPU() *Task {
+	return popBy(&c.scpu, c.opts, func(a, b *Task) bool { return a.Rate() < b.Rate() })
+}
+
+// popAny removes the next task regardless of class (INTRA-ONLY order):
+// arrival order, or shortest-job-first under SJF.
+func (c *Controller) popAny() *Task {
+	if len(c.sio) == 0 && len(c.scpu) == 0 {
+		return nil
+	}
+	// Merge view preserving arrival order by ID is not possible (IDs are
+	// caller-assigned), so INTRA-ONLY serves IO queue and CPU queue
+	// round-robin by queue head arrival; with SJF it serves the shorter
+	// job of the two heads.
+	pick := func() *Task {
+		if len(c.sio) == 0 {
+			return c.popCPUHead()
+		}
+		if len(c.scpu) == 0 {
+			return c.popIOHead()
+		}
+		if c.opts.SJF {
+			if shorter(c.headSJF(c.sio), c.headSJF(c.scpu)) {
+				return c.popSJF(&c.sio)
+			}
+			return c.popSJF(&c.scpu)
+		}
+		// FIFO across both queues: prefer the IO queue head, matching the
+		// paper's bias toward draining IO-bound work first.
+		return c.popIOHead()
+	}
+	return pick()
+}
+
+func (c *Controller) popIOHead() *Task {
+	if c.opts.SJF {
+		return c.popSJF(&c.sio)
+	}
+	t := c.sio[0]
+	c.sio = c.sio[1:]
+	return t
+}
+
+func (c *Controller) popCPUHead() *Task {
+	if c.opts.SJF {
+		return c.popSJF(&c.scpu)
+	}
+	t := c.scpu[0]
+	c.scpu = c.scpu[1:]
+	return t
+}
+
+func (c *Controller) headSJF(q []*Task) *Task {
+	best := q[0]
+	for _, t := range q[1:] {
+		if shorter(t, best) {
+			best = t
+		}
+	}
+	return best
+}
+
+func (c *Controller) popSJF(q *[]*Task) *Task {
+	bi := 0
+	for i, t := range *q {
+		if shorter(t, (*q)[bi]) {
+			bi = i
+		}
+	}
+	t := (*q)[bi]
+	*q = append((*q)[:bi], (*q)[bi+1:]...)
+	return t
+}
+
+func shorter(a, b *Task) bool {
+	if a.T != b.T {
+		return a.T < b.T
+	}
+	return a.ID < b.ID
+}
+
+// popBy removes the task minimizing the given order (or per options).
+func popBy(q *[]*Task, opts Options, better func(a, b *Task) bool) *Task {
+	if len(*q) == 0 {
+		return nil
+	}
+	switch {
+	case opts.SJF:
+		return popSJFQ(q)
+	case opts.Pairing == FIFOPairing:
+		t := (*q)[0]
+		*q = (*q)[1:]
+		return t
+	default:
+		bi := 0
+		for i, t := range *q {
+			if better(t, (*q)[bi]) {
+				bi = i
+			} else if !better((*q)[bi], t) && t.ID < (*q)[bi].ID {
+				bi = i // deterministic tie-break by ID
+			}
+		}
+		t := (*q)[bi]
+		*q = append((*q)[:bi], (*q)[bi+1:]...)
+		return t
+	}
+}
+
+func popSJFQ(q *[]*Task) *Task {
+	bi := 0
+	for i, t := range *q {
+		if shorter(t, (*q)[bi]) {
+			bi = i
+		}
+	}
+	t := (*q)[bi]
+	*q = append((*q)[:bi], (*q)[bi+1:]...)
+	return t
+}
+
+// sortTasksByID orders tasks deterministically (test helper shared by
+// Simulate traces).
+func sortTasksByID(ts []*Task) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].ID < ts[j].ID })
+}

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// paperEnv is the §3 machine: 8 processors, B = 4 disks x 60 io/s = 240,
+// effective-bandwidth endpoints Bs = 240, Br = 4 x 35 = 140.
+func paperEnv() Env { return Env{NProcs: 8, B: 240, Bs: 240, Br: 140} }
+
+// flatEnv disables the §2.3 effective-bandwidth refinement (Bs = Br = B)
+// so tests can check the basic §2.3 closed form in isolation.
+func flatEnv() Env { return Env{NProcs: 8, B: 240, Bs: 240, Br: 240} }
+
+// mkTask builds a task with the given IO rate and sequential time.
+func mkTask(id int, rate, t float64, seq bool) *Task {
+	return &Task{ID: id, Name: "t", T: t, D: rate * t, SeqIO: seq}
+}
+
+func TestEnvValidate(t *testing.T) {
+	good := paperEnv()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Env{
+		{NProcs: 0, B: 240, Bs: 240, Br: 140},
+		{NProcs: 8, B: 0, Bs: 240, Br: 140},
+		{NProcs: 8, B: 240, Bs: 100, Br: 140}, // Bs < Br
+		{NProcs: 8, B: 240, Bs: 240, Br: 0},
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("bad[%d] validated", i)
+		}
+	}
+}
+
+func TestClassificationThreshold(t *testing.T) {
+	e := paperEnv()
+	if got := e.Threshold(); got != 30 {
+		t.Fatalf("threshold = %f, want 30 (240/8, §3)", got)
+	}
+	if e.IOBound(mkTask(1, 30, 10, true)) {
+		t.Fatal("rate 30 must be CPU-bound (not strictly above B/N)")
+	}
+	if !e.IOBound(mkTask(2, 31, 10, true)) {
+		t.Fatal("rate 31 must be IO-bound")
+	}
+	if e.IOBound(mkTask(3, 5, 10, true)) {
+		t.Fatal("rmin-rate task must be CPU-bound")
+	}
+	if !e.IOBound(mkTask(4, 70, 10, true)) {
+		t.Fatal("rmax-rate task must be IO-bound")
+	}
+}
+
+func TestTaskRateAndString(t *testing.T) {
+	task := &Task{ID: 1, Name: "scan", T: 10, D: 600}
+	if task.Rate() != 60 {
+		t.Fatalf("rate = %f", task.Rate())
+	}
+	if (&Task{T: 0, D: 5}).Rate() != 0 {
+		t.Fatal("zero-T rate")
+	}
+	if !strings.Contains(task.String(), "scan") {
+		t.Fatal("task string")
+	}
+}
+
+func TestMaxParallelism(t *testing.T) {
+	e := paperEnv()
+	// IO-bound: maxp = B/C (§2.2). C=60 -> 4.
+	if got := e.MaxParallelism(mkTask(1, 60, 10, true)); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("maxp(C=60) = %f, want 4", got)
+	}
+	// CPU-bound: maxp = N.
+	if got := e.MaxParallelism(mkTask(2, 10, 10, true)); got != 8 {
+		t.Fatalf("maxp(C=10) = %f, want 8", got)
+	}
+	// Degenerate rate.
+	if got := e.MaxParallelism(&Task{T: 1, D: 0}); got != 8 {
+		t.Fatalf("maxp(C=0) = %f", got)
+	}
+}
+
+func TestDegreeFor(t *testing.T) {
+	e := paperEnv()
+	cases := []struct {
+		x    float64
+		want int
+	}{{0.2, 1}, {1.4, 1}, {1.6, 2}, {4, 4}, {7.9, 8}, {100, 8}, {-3, 1}}
+	for _, c := range cases {
+		if got := e.DegreeFor(c.x); got != c.want {
+			t.Errorf("DegreeFor(%f) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestBalancePointClosedForm(t *testing.T) {
+	// With the refinement disabled, the §2.3 closed form must hold:
+	// Ci=60, Cj=10, N=8, B=240 -> xi = (240-80)/50 = 3.2, xj = 4.8.
+	e := flatEnv()
+	io := mkTask(1, 60, 10, true)
+	cpu := mkTask(2, 10, 10, true)
+	xi, xj, b, ok := e.BalancePoint(io, cpu)
+	if !ok {
+		t.Fatal("no balance point")
+	}
+	if math.Abs(xi-3.2) > 1e-6 || math.Abs(xj-4.8) > 1e-6 {
+		t.Fatalf("balance = (%f, %f), want (3.2, 4.8)", xi, xj)
+	}
+	if math.Abs(b-240) > 1e-6 {
+		t.Fatalf("B = %f", b)
+	}
+	// The solution sits exactly on both resource bounds.
+	if math.Abs(xi+xj-8) > 1e-9 {
+		t.Fatal("processor equation violated")
+	}
+	if math.Abs(60*xi+10*xj-240) > 1e-6 {
+		t.Fatal("bandwidth equation violated")
+	}
+}
+
+func TestBalancePointRequiresOppositeClasses(t *testing.T) {
+	e := flatEnv()
+	// Two IO-bound tasks: xj would be negative.
+	if _, _, _, ok := e.BalancePoint(mkTask(1, 60, 10, true), mkTask(2, 40, 10, true)); ok {
+		t.Fatal("balance point for two IO-bound tasks")
+	}
+	// Two CPU-bound tasks: xi would be negative or Ci <= Cj.
+	if _, _, _, ok := e.BalancePoint(mkTask(1, 10, 10, true), mkTask(2, 20, 10, true)); ok {
+		t.Fatal("balance point with Ci <= Cj")
+	}
+	if _, _, _, ok := e.BalancePoint(mkTask(1, 20, 10, true), mkTask(2, 10, 10, true)); ok {
+		t.Fatal("balance point for two CPU-bound tasks")
+	}
+}
+
+func TestEffectiveBandwidthSeqSeq(t *testing.T) {
+	e := paperEnv()
+	// Dominant stream: ratio -> 0 gives Bs.
+	if got := e.EffectiveBandwidth(200, 0, true, true); got != 240 {
+		t.Fatalf("dominant = %f", got)
+	}
+	// Even split: ratio = 1 gives Br (§2.3: "the disks have to seek ...
+	// so B ~ Br").
+	if got := e.EffectiveBandwidth(100, 100, true, true); got != 140 {
+		t.Fatalf("even = %f", got)
+	}
+	// Midpoint: ratio = 0.5 -> Br + 0.5(Bs-Br) = 190.
+	if got := e.EffectiveBandwidth(100, 50, true, true); math.Abs(got-190) > 1e-9 {
+		t.Fatalf("half = %f", got)
+	}
+	// Symmetric in the arguments.
+	if e.EffectiveBandwidth(30, 90, true, true) != e.EffectiveBandwidth(90, 30, true, true) {
+		t.Fatal("asymmetric")
+	}
+}
+
+func TestEffectiveBandwidthOtherClasses(t *testing.T) {
+	e := paperEnv()
+	// Two random streams: always Br.
+	if got := e.EffectiveBandwidth(50, 80, false, false); got != 140 {
+		t.Fatalf("random+random = %f", got)
+	}
+	// Mixed: degrades with the random share, staying within [Br, Bs].
+	b1 := e.EffectiveBandwidth(100, 10, true, false) // small random share
+	b2 := e.EffectiveBandwidth(100, 100, true, false)
+	if !(b1 > b2) || b1 > 240 || b2 < 140 {
+		t.Fatalf("mixed bandwidths: %f, %f", b1, b2)
+	}
+	// Order of (seq, random) arguments must not matter.
+	if e.EffectiveBandwidth(10, 100, false, true) != e.EffectiveBandwidth(100, 10, true, false) {
+		t.Fatal("mixed asymmetric")
+	}
+	// Degenerate zero demand.
+	if got := e.EffectiveBandwidth(0, 0, true, true); got != 240 {
+		t.Fatalf("zero demand seq = %f", got)
+	}
+	if got := e.EffectiveBandwidth(0, 0, true, false); got != 240 {
+		t.Fatalf("zero demand mixed = %f", got)
+	}
+}
+
+func TestBalancePointWithSeqRefinement(t *testing.T) {
+	// The §2.3 extreme pair from the paper's workload: C=65 vs C=10,
+	// both sequential scans. The fixed point must settle strictly below
+	// the nominal 240 (interleaving costs seeks) and above Br.
+	e := paperEnv()
+	io := mkTask(1, 65, 10, true)
+	cpu := mkTask(2, 10, 10, true)
+	xi, xj, b, ok := e.BalancePoint(io, cpu)
+	if !ok {
+		t.Fatal("no balance point")
+	}
+	if b >= 240 || b <= 140 {
+		t.Fatalf("effective B = %f, want in (140, 240)", b)
+	}
+	// Hand iteration converges near B ~ 200, xi ~ 2.2 (DESIGN.md).
+	if xi < 1.8 || xi > 2.7 {
+		t.Fatalf("xi = %f, want ~2.2", xi)
+	}
+	if math.Abs(xi+xj-8) > 1e-6 {
+		t.Fatal("processor equation violated")
+	}
+	// The solution is consistent: demand equals the effective bandwidth
+	// at the solution's own ratio.
+	if math.Abs(65*xi+10*xj-b) > 1 {
+		t.Fatalf("demand %f != effective %f", 65*xi+10*xj, b)
+	}
+}
+
+func TestTInterFormula(t *testing.T) {
+	e := flatEnv()
+	io := mkTask(1, 60, 10, true)  // maxp 4
+	cpu := mkTask(2, 10, 10, true) // maxp 8
+	// At (3.2, 4.8): Ti/xi = 3.125, Tj/xj = 2.083..; CPU ends first;
+	// remaining IO work = 10 - 3.2*2.0833 = 3.3333 at maxp 4 -> 0.8333.
+	got := e.TInter(io, cpu, 3.2, 4.8)
+	want := 10.0/4.8 + (10-3.2*(10.0/4.8))/4
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("TInter = %f, want %f", got, want)
+	}
+	// Symmetric case: IO ends first.
+	io2 := mkTask(3, 60, 1, true) // very short
+	got2 := e.TInter(io2, cpu, 3.2, 4.8)
+	first := 1.0 / 3.2
+	rem := 10 - 4.8*first
+	want2 := first + rem/8
+	if math.Abs(got2-want2) > 1e-9 {
+		t.Fatalf("TInter short-io = %f, want %f", got2, want2)
+	}
+	// Degenerate degrees.
+	if !math.IsInf(e.TInter(io, cpu, 0, 4), 1) {
+		t.Fatal("zero degree must be +inf")
+	}
+}
+
+func TestTIntra(t *testing.T) {
+	e := paperEnv()
+	if got := e.TIntra(mkTask(1, 60, 10, true)); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("TIntra = %f, want 10/4", got)
+	}
+	if got := e.TIntra(mkTask(2, 10, 16, true)); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("TIntra = %f, want 16/8", got)
+	}
+}
+
+func TestEvaluatePair(t *testing.T) {
+	e := flatEnv()
+	io := mkTask(1, 60, 10, true)
+	cpu := mkTask(2, 10, 10, true)
+	p, ok := e.EvaluatePair(cpu, io) // order must not matter
+	if !ok {
+		t.Fatal("pair rejected")
+	}
+	if p.IO != io || p.CPU != cpu {
+		t.Fatal("pair misclassified")
+	}
+	if p.Ni != 3 || p.Nj != 5 {
+		t.Fatalf("degrees = (%d, %d), want (3, 5)", p.Ni, p.Nj)
+	}
+	if !p.Worthwhile {
+		t.Fatal("classic mixed pair must be worthwhile")
+	}
+	// Same-class pairs are not pairs.
+	if _, ok := e.EvaluatePair(io, mkTask(3, 50, 10, true)); ok {
+		t.Fatal("two IO-bound accepted")
+	}
+	if _, ok := e.EvaluatePair(cpu, mkTask(4, 20, 10, true)); ok {
+		t.Fatal("two CPU-bound accepted")
+	}
+}
+
+func TestEvaluatePairSeqSeqCanDecline(t *testing.T) {
+	// Two sequential scans whose demands interleave so badly that
+	// inter-operation parallelism loses to serial intra-only execution
+	// (§2.3: "inter-operation parallelism may lose its advantage").
+	// An aggressive Br makes the penalty sharp.
+	e := Env{NProcs: 8, B: 240, Bs: 240, Br: 30}
+	io := mkTask(1, 31, 10, true) // barely IO-bound
+	cpu := mkTask(2, 29, 10, true)
+	p, ok := e.EvaluatePair(io, cpu)
+	if ok && p.Worthwhile {
+		t.Fatalf("near-identical seq scans should not pair: TInter=%f vs %f",
+			p.TInter, e.TIntra(io)+e.TIntra(cpu))
+	}
+}
+
+func TestRoundDegrees(t *testing.T) {
+	e := paperEnv()
+	cases := []struct {
+		xi, xj float64
+		ni, nj int
+	}{
+		{3.2, 4.8, 3, 5},
+		{0.4, 7.6, 1, 7},
+		{4.5, 3.5, 4, 4}, // 5+4 > 8 -> larger decremented
+		{7.7, 0.2, 7, 1},
+		{0.1, 0.1, 1, 1},
+	}
+	for _, c := range cases {
+		ni, nj := e.RoundDegrees(c.xi, c.xj)
+		if ni != c.ni || nj != c.nj {
+			t.Errorf("RoundDegrees(%f,%f) = (%d,%d), want (%d,%d)", c.xi, c.xj, ni, nj, c.ni, c.nj)
+		}
+		if ni+nj > e.NProcs || ni < 1 || nj < 1 {
+			t.Errorf("RoundDegrees(%f,%f) violates bounds", c.xi, c.xj)
+		}
+	}
+}
+
+// Property: rounded degrees never exceed either resource bound by more
+// than one task's worth of slack, and always stay in [1, N].
+func TestPropertyRoundDegreesBounds(t *testing.T) {
+	e := paperEnv()
+	f := func(a, b uint16) bool {
+		xi := float64(a%1000) / 100
+		xj := float64(b%1000) / 100
+		ni, nj := e.RoundDegrees(xi, xj)
+		return ni >= 1 && nj >= 1 && ni+nj <= e.NProcs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the balance point always satisfies the processor equation
+// and lands demand exactly on the effective bandwidth.
+func TestPropertyBalanceConsistency(t *testing.T) {
+	e := paperEnv()
+	f := func(a, b uint16) bool {
+		ci := 31 + float64(a%390)/10 // IO-bound: 31..70
+		cj := 5 + float64(b%250)/10  // CPU-bound: 5..30
+		io := mkTask(1, ci, 10, true)
+		cpu := mkTask(2, cj, 10, true)
+		xi, xj, beff, ok := e.BalancePoint(io, cpu)
+		if !ok {
+			return true // declining is always allowed
+		}
+		if math.Abs(xi+xj-8) > 1e-6 {
+			return false
+		}
+		return math.Abs(ci*xi+cj*xj-beff) < 1.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if IntraOnly.String() != "INTRA-ONLY" ||
+		InterNoAdj.String() != "INTER-WITHOUT-ADJ" ||
+		InterAdj.String() != "INTER-WITH-ADJ" {
+		t.Fatal("policy strings")
+	}
+	if Policy(9).String() == "" {
+		t.Fatal("unknown policy string")
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func memTask(id int, rate, t float64, mem int64) *Task {
+	return &Task{ID: id, T: t, D: rate * t, SeqIO: true, MemBytes: mem}
+}
+
+func TestMemoryBudgetBlocksPairing(t *testing.T) {
+	const mb = 1 << 20
+	c := NewController(flatEnv(), InterAdj, Options{MemoryBudget: 10 * mb})
+	io := memTask(1, 60, 10, 8*mb)
+	cpu := memTask(2, 10, 10, 8*mb) // combined 16 MB > 10 MB budget
+	d := c.Submit(io, cpu)
+	if len(d.Starts) != 1 {
+		t.Fatalf("starts = %+v, want the IO task alone", d.Starts)
+	}
+	if d.Starts[0].Task != io || d.Starts[0].Degree != 4 {
+		t.Fatalf("start = %+v", d.Starts[0])
+	}
+	// When the first finishes, the second runs alone.
+	d = c.Complete(io)
+	if len(d.Starts) != 1 || d.Starts[0].Task != cpu {
+		t.Fatalf("second = %+v", d.Starts)
+	}
+}
+
+func TestMemoryBudgetAllowsFittingPair(t *testing.T) {
+	const mb = 1 << 20
+	c := NewController(flatEnv(), InterAdj, Options{MemoryBudget: 20 * mb})
+	io := memTask(1, 60, 10, 8*mb)
+	cpu := memTask(2, 10, 10, 8*mb)
+	d := c.Submit(io, cpu)
+	if len(d.Starts) != 2 {
+		t.Fatalf("fitting pair did not start: %+v", d)
+	}
+}
+
+func TestMemoryBudgetSkipsToFittingPartner(t *testing.T) {
+	const mb = 1 << 20
+	c := NewController(flatEnv(), InterAdj, Options{MemoryBudget: 10 * mb})
+	io := memTask(1, 60, 100, 8*mb)
+	big := memTask(2, 10, 10, 8*mb)   // most CPU-bound but does not fit
+	small := memTask(3, 12, 10, 1*mb) // fits
+	c.Submit(io)
+	d := c.Submit(big, small)
+	// The running IO task pairs with the small partner even though the
+	// big one is more CPU-bound.
+	if len(d.Starts) != 1 || d.Starts[0].Task != small {
+		t.Fatalf("starts = %+v, want the fitting partner", d.Starts)
+	}
+	// The big task is still queued, preserving order for later.
+	_, cpuQ := c.QueueLengths()
+	if cpuQ != 1 {
+		t.Fatalf("cpu queue = %d", cpuQ)
+	}
+}
+
+func TestMemoryBudgetSingleTaskAlwaysRuns(t *testing.T) {
+	const mb = 1 << 20
+	c := NewController(flatEnv(), InterAdj, Options{MemoryBudget: 1 * mb})
+	huge := memTask(1, 10, 10, 100*mb) // exceeds the budget alone
+	d := c.Submit(huge)
+	if len(d.Starts) != 1 {
+		t.Fatalf("oversized single task must still run: %+v", d)
+	}
+}
+
+func TestMemoryBudgetZeroDisables(t *testing.T) {
+	c := NewController(flatEnv(), InterAdj, Options{})
+	io := memTask(1, 60, 10, math.MaxInt64/4)
+	cpu := memTask(2, 10, 10, math.MaxInt64/4)
+	d := c.Submit(io, cpu)
+	if len(d.Starts) != 2 {
+		t.Fatalf("unconstrained pairing blocked: %+v", d)
+	}
+}
+
+func TestMemoryBudgetInterNoAdjFill(t *testing.T) {
+	const mb = 1 << 20
+	c := NewController(flatEnv(), InterNoAdj, Options{MemoryBudget: 10 * mb})
+	io := memTask(1, 60, 10, 6*mb)
+	cpu := memTask(2, 10, 5, 3*mb)
+	big := memTask(3, 12, 10, 8*mb) // never fits next to io
+	c.Submit(io, cpu, big)
+	// cpu finishes: the fill candidate must skip the over-budget task.
+	d := c.Complete(cpu)
+	if len(d.Starts) != 0 {
+		t.Fatalf("over-budget fill started: %+v", d.Starts)
+	}
+	d = c.Complete(io)
+	if len(d.Starts) != 1 || d.Starts[0].Task != big {
+		t.Fatalf("big task must run once memory frees: %+v", d.Starts)
+	}
+}
+
+func TestMemoryBudgetSimulate(t *testing.T) {
+	// End-to-end through the analytic simulator: with a tight budget the
+	// pair serializes; with a loose one it overlaps and finishes sooner.
+	const mb = 1 << 20
+	tasks := []*Task{memTask(1, 60, 10, 8*mb), memTask(2, 10, 10, 8*mb)}
+	tight, err := Simulate(flatEnv(), InterAdj, Options{MemoryBudget: 10 * mb}, MakeSimTasks(tasks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Simulate(flatEnv(), InterAdj, Options{MemoryBudget: 100 * mb}, MakeSimTasks(tasks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(loose.Elapsed < tight.Elapsed) {
+		t.Fatalf("loose budget %f !< tight budget %f", loose.Elapsed, tight.Elapsed)
+	}
+	// Tight equals serial intra execution: 10/4 + 10/8.
+	if math.Abs(tight.Elapsed-3.75) > 1e-6 {
+		t.Fatalf("tight elapsed = %f, want 3.75", tight.Elapsed)
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSimulateSingleTask(t *testing.T) {
+	// One CPU-bound task, T=8s, maxp=8: elapsed = 1s.
+	res, err := Simulate(paperEnv(), InterAdj, Options{}, MakeSimTasks([]*Task{mkTask(1, 10, 8, true)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Elapsed-1) > 1e-9 {
+		t.Fatalf("elapsed = %f, want 1", res.Elapsed)
+	}
+	if res.Finish[1] != res.Elapsed {
+		t.Fatal("finish time mismatch")
+	}
+}
+
+func TestSimulatePairHandComputed(t *testing.T) {
+	// Flat env, io C=60 T=10, cpu C=10 T=10. Integer degrees (3, 5):
+	// cpu ends at 10/5 = 2; io has 10 - 3*2 = 4 left, adjusted to maxp
+	// degree 4 -> 1 more second. Elapsed = 3.
+	res, err := Simulate(flatEnv(), InterAdj, Options{},
+		MakeSimTasks([]*Task{mkTask(1, 60, 10, true), mkTask(2, 10, 10, true)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Elapsed-3) > 1e-6 {
+		t.Fatalf("elapsed = %f, want 3", res.Elapsed)
+	}
+	if math.Abs(res.Finish[2]-2) > 1e-6 {
+		t.Fatalf("cpu finish = %f, want 2", res.Finish[2])
+	}
+	// Trace contains the start pair, the adjustment and both completions.
+	var kinds []string
+	for _, ev := range res.Trace {
+		kinds = append(kinds, ev.Kind)
+	}
+	joined := strings.Join(kinds, ",")
+	if !strings.Contains(joined, "adjust") {
+		t.Fatalf("trace lacks adjustment: %v", res.Trace)
+	}
+	for _, ev := range res.Trace {
+		if ev.String() == "" {
+			t.Fatal("empty trace string")
+		}
+	}
+}
+
+func TestSimulateIntraOnlySerial(t *testing.T) {
+	// INTRA-ONLY on the same pair: 10/4 + 10/8 = 3.75.
+	res, err := Simulate(flatEnv(), IntraOnly, Options{},
+		MakeSimTasks([]*Task{mkTask(1, 60, 10, true), mkTask(2, 10, 10, true)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Elapsed-3.75) > 1e-6 {
+		t.Fatalf("elapsed = %f, want 3.75", res.Elapsed)
+	}
+}
+
+func TestSimulateInterBeatsIntraOnMixedLoad(t *testing.T) {
+	// The paper's headline: on mixed IO/CPU workloads INTER-WITH-ADJ
+	// beats INTRA-ONLY (by ~25% in their measurements) and
+	// INTER-WITHOUT-ADJ trails INTER-WITH-ADJ.
+	rng := rand.New(rand.NewSource(42))
+	var tasks []*Task
+	for i := 0; i < 10; i++ {
+		var rate float64
+		if i%2 == 0 {
+			rate = 60 + rng.Float64()*10 // extremely IO-bound
+		} else {
+			rate = 5 + rng.Float64()*10 // extremely CPU-bound
+		}
+		tasks = append(tasks, mkTask(i, rate, 5+rng.Float64()*10, true))
+	}
+	elapsed := map[Policy]float64{}
+	for _, pol := range []Policy{IntraOnly, InterNoAdj, InterAdj} {
+		res, err := Simulate(paperEnv(), pol, Options{}, MakeSimTasks(tasks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		elapsed[pol] = res.Elapsed
+	}
+	if !(elapsed[InterAdj] < elapsed[IntraOnly]) {
+		t.Fatalf("INTER-WITH-ADJ %f !< INTRA-ONLY %f", elapsed[InterAdj], elapsed[IntraOnly])
+	}
+	if !(elapsed[InterAdj] <= elapsed[InterNoAdj]) {
+		t.Fatalf("INTER-WITH-ADJ %f > INTER-WITHOUT-ADJ %f", elapsed[InterAdj], elapsed[InterNoAdj])
+	}
+	improvement := 1 - elapsed[InterAdj]/elapsed[IntraOnly]
+	if improvement < 0.05 {
+		t.Fatalf("improvement = %.1f%%, want noticeable", improvement*100)
+	}
+}
+
+func TestSimulateDependencies(t *testing.T) {
+	// Chain: 1 -> 2 -> 3 (each depends on the previous). All CPU-bound
+	// with T=8 and maxp 8: serial chain of 1s each.
+	tasks := []SimTask{
+		{Task: mkTask(1, 10, 8, true)},
+		{Task: mkTask(2, 10, 8, true), DependsOn: []int{1}},
+		{Task: mkTask(3, 10, 8, true), DependsOn: []int{2}},
+	}
+	res, err := Simulate(paperEnv(), InterAdj, Options{}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Elapsed-3) > 1e-6 {
+		t.Fatalf("elapsed = %f, want 3", res.Elapsed)
+	}
+	if !(res.Finish[1] < res.Finish[2] && res.Finish[2] < res.Finish[3]) {
+		t.Fatal("dependency order violated")
+	}
+}
+
+func TestSimulateBushyDependencies(t *testing.T) {
+	// Two independent leaf fragments (one IO-bound, one CPU-bound)
+	// followed by a root that needs both: the leaves must overlap.
+	tasks := []SimTask{
+		{Task: mkTask(1, 60, 10, true)},
+		{Task: mkTask(2, 10, 10, true)},
+		{Task: mkTask(3, 10, 8, true), DependsOn: []int{1, 2}},
+	}
+	res, err := Simulate(flatEnv(), InterAdj, Options{}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leaves finish at 3 (pair example), root runs 1s more.
+	if math.Abs(res.Elapsed-4) > 1e-6 {
+		t.Fatalf("elapsed = %f, want 4", res.Elapsed)
+	}
+}
+
+func TestSimulateArrivals(t *testing.T) {
+	// A CPU task arrives at t=5 into an idle system.
+	tasks := []SimTask{
+		{Task: mkTask(1, 10, 8, true), Arrival: 5},
+	}
+	res, err := Simulate(paperEnv(), InterAdj, Options{}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Elapsed-6) > 1e-6 {
+		t.Fatalf("elapsed = %f, want 6 (5 idle + 1 run)", res.Elapsed)
+	}
+	// A late IO arrival forces an adjustment of the running CPU task.
+	tasks2 := []SimTask{
+		{Task: mkTask(1, 10, 80, true)},
+		{Task: mkTask(2, 60, 10, true), Arrival: 1},
+	}
+	res2, err := Simulate(flatEnv(), InterAdj, Options{}, tasks2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawAdjust := false
+	for _, ev := range res2.Trace {
+		if ev.Kind == "adjust" && ev.Time >= 1 {
+			sawAdjust = true
+		}
+	}
+	if !sawAdjust {
+		t.Fatalf("late arrival did not trigger adjustment: %v", res2.Trace)
+	}
+}
+
+func TestSimulateSJFImprovesResponseTime(t *testing.T) {
+	long := mkTask(1, 10, 50, true)
+	short := mkTask(2, 10, 1, true)
+	mean := func(opts Options) float64 {
+		res, err := Simulate(paperEnv(), IntraOnly, opts, MakeSimTasks([]*Task{long, short}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return (res.Finish[1] + res.Finish[2]) / 2
+	}
+	if !(mean(Options{SJF: true}) < mean(Options{})) {
+		t.Fatal("SJF did not improve mean response time")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	if _, err := Simulate(Env{}, InterAdj, Options{}, nil); err == nil {
+		t.Fatal("bad env accepted")
+	}
+	if _, err := Simulate(paperEnv(), InterAdj, Options{}, []SimTask{{Task: nil}}); err == nil {
+		t.Fatal("nil task accepted")
+	}
+	if _, err := Simulate(paperEnv(), InterAdj, Options{},
+		[]SimTask{{Task: mkTask(1, 10, 10, true)}, {Task: mkTask(1, 10, 10, true)}}); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+	if _, err := Simulate(paperEnv(), InterAdj, Options{},
+		[]SimTask{{Task: mkTask(1, 10, 0, true)}}); err == nil {
+		t.Fatal("zero-T task accepted")
+	}
+	if _, err := Simulate(paperEnv(), InterAdj, Options{},
+		[]SimTask{{Task: mkTask(1, 10, 10, true), DependsOn: []int{9}}}); err == nil {
+		t.Fatal("unknown dependency accepted")
+	}
+	// Dependency cycle.
+	if _, err := Simulate(paperEnv(), InterAdj, Options{}, []SimTask{
+		{Task: mkTask(1, 10, 10, true), DependsOn: []int{2}},
+		{Task: mkTask(2, 10, 10, true), DependsOn: []int{1}},
+	}); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var tasks []*Task
+	for i := 0; i < 12; i++ {
+		tasks = append(tasks, mkTask(i, 5+rng.Float64()*65, 1+rng.Float64()*20, i%3 != 0))
+	}
+	first := -1.0
+	for run := 0; run < 3; run++ {
+		res, err := Simulate(paperEnv(), InterAdj, Options{}, MakeSimTasks(tasks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first < 0 {
+			first = res.Elapsed
+		} else if res.Elapsed != first {
+			t.Fatalf("run %d: elapsed %f != %f", run, res.Elapsed, first)
+		}
+	}
+}
+
+// Property: for random mixed workloads, every policy's makespan is at
+// least the critical lower bound max(total_work/N, max_i TIntra_i), and
+// INTER-WITH-ADJ never loses badly to INTRA-ONLY (the worthwhile test
+// guards every pairing).
+func TestPropertySimulateBounds(t *testing.T) {
+	env := paperEnv()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(8)
+		var tasks []*Task
+		totalWork := 0.0
+		maxIntra := 0.0
+		for i := 0; i < n; i++ {
+			task := mkTask(i, 5+rng.Float64()*65, 0.5+rng.Float64()*10, rng.Intn(2) == 0)
+			tasks = append(tasks, task)
+			totalWork += task.T
+			if ti := env.TIntra(task); ti > maxIntra {
+				maxIntra = ti
+			}
+		}
+		lower := math.Max(totalWork/float64(env.NProcs), maxIntra)
+		for _, pol := range []Policy{IntraOnly, InterNoAdj, InterAdj} {
+			res, err := Simulate(env, pol, Options{}, MakeSimTasks(tasks))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Elapsed < lower-1e-6 {
+				t.Fatalf("trial %d policy %v: elapsed %f below lower bound %f", trial, pol, res.Elapsed, lower)
+			}
+		}
+		intra, _ := Simulate(env, IntraOnly, Options{}, MakeSimTasks(tasks))
+		adj, _ := Simulate(env, InterAdj, Options{}, MakeSimTasks(tasks))
+		if adj.Elapsed > intra.Elapsed*1.25+1e-6 {
+			t.Fatalf("trial %d: INTER-WITH-ADJ %f much worse than INTRA-ONLY %f", trial, adj.Elapsed, intra.Elapsed)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package exec
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"xprs/internal/plan"
+	"xprs/internal/storage"
+)
+
+// Aggregation executes in the classic parallel two-phase shape: every
+// slave backend folds its partition into a private accumulator table
+// (no coordination on the hot path), and the partials merge into the
+// fragment's shared state when each slave exits. Finalization emits one
+// row per group into the output temp, ordered by group key so results
+// are deterministic.
+
+// aggState is the shared, merge-side aggregation state of a fragment.
+type aggState struct {
+	groupCol int // -1 for a single global group
+	funcs    []plan.AggFunc
+
+	mu     sync.Mutex
+	groups map[int32][]int64
+}
+
+func newAggState(a *plan.Agg) *aggState {
+	return &aggState{groupCol: a.GroupCol, funcs: a.Funcs, groups: make(map[int32][]int64)}
+}
+
+// initAccum returns the identity accumulator for the function list.
+func initAccum(funcs []plan.AggFunc) []int64 {
+	acc := make([]int64, len(funcs))
+	for i, f := range funcs {
+		switch f.Kind {
+		case plan.Min:
+			acc[i] = math.MaxInt64
+		case plan.Max:
+			acc[i] = math.MinInt64
+		}
+	}
+	return acc
+}
+
+// fold adds one input tuple into an accumulator.
+func fold(acc []int64, funcs []plan.AggFunc, t storage.Tuple) {
+	for i, f := range funcs {
+		switch f.Kind {
+		case plan.CountAll:
+			acc[i]++
+		case plan.Sum:
+			acc[i] += int64(t.Vals[f.Col].Int)
+		case plan.Min:
+			if v := int64(t.Vals[f.Col].Int); v < acc[i] {
+				acc[i] = v
+			}
+		case plan.Max:
+			if v := int64(t.Vals[f.Col].Int); v > acc[i] {
+				acc[i] = v
+			}
+		}
+	}
+}
+
+// mergeInto folds a partial accumulator table into the shared state.
+func (st *aggState) mergeInto(partial map[int32][]int64) {
+	if len(partial) == 0 {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for k, acc := range partial {
+		dst, ok := st.groups[k]
+		if !ok {
+			st.groups[k] = acc
+			continue
+		}
+		for i, f := range st.funcs {
+			switch f.Kind {
+			case plan.CountAll, plan.Sum:
+				dst[i] += acc[i]
+			case plan.Min:
+				if acc[i] < dst[i] {
+					dst[i] = acc[i]
+				}
+			case plan.Max:
+				if acc[i] > dst[i] {
+					dst[i] = acc[i]
+				}
+			}
+		}
+	}
+}
+
+// emit writes the final per-group rows, ordered by group key.
+func (st *aggState) emit(out *Temp) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	keys := make([]int32, 0, len(st.groups))
+	for k := range st.groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	rows := make([]storage.Tuple, 0, len(keys))
+	for _, k := range keys {
+		acc := st.groups[k]
+		var vals []storage.Value
+		if st.groupCol >= 0 {
+			vals = append(vals, storage.IntVal(k))
+		}
+		for _, v := range acc {
+			vals = append(vals, storage.IntVal(int32(v)))
+		}
+		rows = append(rows, storage.Tuple{Vals: vals})
+	}
+	out.Append(rows)
+	return len(rows)
+}
+
+// accumulate is the per-tuple slave-side path.
+func (sc *slaveCtx) accumulate(st *aggState, t storage.Tuple) {
+	if sc.aggLocal == nil {
+		sc.aggLocal = make(map[int32][]int64)
+	}
+	key := int32(0)
+	if st.groupCol >= 0 {
+		key = t.Vals[st.groupCol].Int
+	}
+	acc, ok := sc.aggLocal[key]
+	if !ok {
+		acc = initAccum(st.funcs)
+		sc.aggLocal[key] = acc
+	}
+	fold(acc, st.funcs, t)
+}

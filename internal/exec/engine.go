@@ -1,0 +1,330 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"xprs/internal/core"
+	"xprs/internal/cost"
+	"xprs/internal/diskmodel"
+	"xprs/internal/plan"
+	"xprs/internal/storage"
+	"xprs/internal/vclock"
+)
+
+// Engine is the XPRS parallel executor: one master backend (the
+// goroutine that calls Run) plus slave backends it spawns per task.
+type Engine struct {
+	Clock  vclock.Clock
+	Store  *storage.Store
+	Params cost.Params
+	Env    core.Env
+
+	// cpuQuantum batches per-tuple CPU charges into clock sleeps
+	// (seconds); purely a simulation-efficiency knob.
+	cpuQuantum float64
+
+	events *vclock.Mailbox
+}
+
+// New creates an engine over the given store, deriving the scheduling
+// environment from the cost parameters.
+func New(clock vclock.Clock, store *storage.Store, params cost.Params) *Engine {
+	return &Engine{
+		Clock:  clock,
+		Store:  store,
+		Params: params,
+		Env: core.Env{
+			NProcs: params.NProcs,
+			B:      params.B,
+			Bs:     params.Bs,
+			Br:     params.Br,
+			BrRand: params.BrRand,
+		},
+		cpuQuantum: 2e-3,
+	}
+}
+
+// chargeMasterCPU charges CPU to the calling goroutine's virtual time.
+func (e *Engine) chargeMasterCPU(seconds float64) {
+	if seconds > 0 {
+		e.Clock.Sleep(cost.Seconds(seconds))
+	}
+}
+
+// TaskSpec is one schedulable fragment: the analytic task the controller
+// reasons about plus the fragment to execute and its constraints.
+type TaskSpec struct {
+	Task *core.Task
+	Frag *plan.Fragment
+	// DependsOn lists task IDs that must complete before this one runs
+	// (the producing fragments of the Frag's inputs).
+	DependsOn []int
+	// Arrival is when the task enters the system.
+	Arrival time.Duration
+}
+
+// QueryTasks converts a decomposed, estimated query into TaskSpecs with
+// dependencies. Task IDs are baseID + fragment ID; baseID values of
+// distinct queries must be spaced by at least the fragment count.
+func QueryTasks(g *plan.Graph, ests map[int]cost.FragEstimate, baseID int) ([]TaskSpec, error) {
+	specs := make([]TaskSpec, 0, len(g.Fragments))
+	for _, f := range g.Fragments {
+		est, ok := ests[f.ID]
+		if !ok {
+			return nil, fmt.Errorf("exec: fragment f%d has no estimate", f.ID)
+		}
+		t := est.T
+		if t <= 0 {
+			t = 1e-6 // degenerate empty fragments still need a positive T
+		}
+		spec := TaskSpec{
+			Task: &core.Task{
+				ID:       baseID + f.ID,
+				Name:     fmt.Sprintf("q%d.f%d", baseID, f.ID),
+				T:        t,
+				D:        est.D,
+				SeqIO:    est.SeqIO,
+				MemBytes: est.MemBytes,
+			},
+			Frag: f,
+		}
+		for _, in := range f.Inputs {
+			spec.DependsOn = append(spec.DependsOn, baseID+in.ID)
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// TraceEvent records one master action during a run.
+type TraceEvent struct {
+	Time   time.Duration
+	Kind   string // "start", "adjust", "complete"
+	TaskID int
+	Degree int
+}
+
+// String implements fmt.Stringer.
+func (ev TraceEvent) String() string {
+	return fmt.Sprintf("t=%10v %-8s task %d (degree %d)", ev.Time, ev.Kind, ev.TaskID, ev.Degree)
+}
+
+// Report is the outcome of a Run.
+type Report struct {
+	// Elapsed is the makespan of the whole task set.
+	Elapsed time.Duration
+	// Finish maps task ID to completion time.
+	Finish map[int]time.Duration
+	// Results holds the output temp of every RootOut fragment, by task
+	// ID.
+	Results map[int]*Temp
+	// Disk is the disk-array statistics accumulated during the run.
+	Disk diskmodel.Stats
+	// Trace lists scheduling actions in time order.
+	Trace []TraceEvent
+}
+
+// events posted to the master's mailbox.
+type taskDone struct {
+	task *core.Task
+	rt   *runningTask
+	err  error
+}
+
+type arrivalTick struct{ id int }
+
+// Run executes the task set under the given policy and returns the
+// report. The calling goroutine is the master backend; under a virtual
+// clock it must execute inside clock.Run (the xprs facade does this).
+// An Engine runs one task set at a time.
+func (e *Engine) Run(specs []TaskSpec, policy core.Policy, opts core.Options) (*Report, error) {
+	byID := make(map[int]*TaskSpec, len(specs))
+	for i := range specs {
+		s := &specs[i]
+		if s.Task == nil || s.Frag == nil {
+			return nil, fmt.Errorf("exec: spec %d missing task or fragment", i)
+		}
+		if _, dup := byID[s.Task.ID]; dup {
+			return nil, fmt.Errorf("exec: duplicate task ID %d", s.Task.ID)
+		}
+		byID[s.Task.ID] = s
+	}
+	for _, s := range byID {
+		for _, dep := range s.DependsOn {
+			if _, ok := byID[dep]; !ok {
+				return nil, fmt.Errorf("exec: task %d depends on unknown %d", s.Task.ID, dep)
+			}
+		}
+	}
+
+	e.events = vclock.NewMailbox(e.Clock)
+	e.Store.Disks.ResetStats()
+	ctl := core.NewController(e.Env, policy, opts)
+	rep := &Report{
+		Finish:  make(map[int]time.Duration),
+		Results: make(map[int]*Temp),
+	}
+	start := e.Clock.Now()
+
+	// Run-scoped materialization state, keyed by fragment identity.
+	temps := make(map[*plan.Fragment]*Temp)
+	hashes := make(map[*plan.Fragment]*HashTable)
+	running := make(map[int]*runningTask)
+	done := make(map[int]bool)
+	submitted := make(map[int]bool)
+	arrived := make(map[int]bool)
+
+	// Arrival timers post ticks through the mailbox. Iterate in ID order
+	// so timer registration order is deterministic.
+	allIDs := make([]int, 0, len(byID))
+	for id := range byID {
+		allIDs = append(allIDs, id)
+	}
+	sort.Ints(allIDs)
+	for _, id := range allIDs {
+		s := byID[id]
+		if s.Arrival <= 0 {
+			arrived[s.Task.ID] = true
+			continue
+		}
+		at := start + s.Arrival
+		id := s.Task.ID
+		e.Clock.Go(func() {
+			if v, ok := e.Clock.(*vclock.Virtual); ok {
+				v.SleepUntil(at)
+			} else {
+				e.Clock.Sleep(at - e.Clock.Now())
+			}
+			e.events.Post(arrivalTick{id: id})
+		})
+	}
+
+	apply := func(d core.Decision) error {
+		for _, a := range d.Adjusts {
+			rt := running[a.Task.ID]
+			if rt == nil {
+				return fmt.Errorf("exec: adjust for task %d which is not running", a.Task.ID)
+			}
+			rep.Trace = append(rep.Trace, TraceEvent{Time: e.Clock.Now() - start, Kind: "adjust", TaskID: a.Task.ID, Degree: a.Degree})
+			if err := rt.adjust(a.Degree); err != nil {
+				return err
+			}
+		}
+		for _, st := range d.Starts {
+			spec := byID[st.Task.ID]
+			fr, err := newFragRun(e, spec.Frag, temps, hashes)
+			if err != nil {
+				return err
+			}
+			drv, err := e.driverFor(fr)
+			if err != nil {
+				return err
+			}
+			rt := &runningTask{eng: e, task: st.Task, fr: fr, drv: drv, slaves: make(map[int]*slaveState)}
+			running[st.Task.ID] = rt
+			rep.Trace = append(rep.Trace, TraceEvent{Time: e.Clock.Now() - start, Kind: "start", TaskID: st.Task.ID, Degree: st.Degree})
+			if err := rt.launch(st.Degree); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ready := func(s *TaskSpec) bool {
+		if submitted[s.Task.ID] || !arrived[s.Task.ID] {
+			return false
+		}
+		for _, dep := range s.DependsOn {
+			if !done[dep] {
+				return false
+			}
+		}
+		return true
+	}
+
+	submitReady := func() error {
+		var batch []*core.Task
+		ids := make([]int, 0, len(byID))
+		for id := range byID {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			if s := byID[id]; ready(s) {
+				submitted[id] = true
+				batch = append(batch, s.Task)
+			}
+		}
+		if len(batch) == 0 {
+			return nil
+		}
+		return apply(ctl.Submit(batch...))
+	}
+
+	if err := submitReady(); err != nil {
+		return nil, err
+	}
+
+	for len(done) < len(byID) {
+		switch ev := e.events.Wait().(type) {
+		case taskDone:
+			if ev.err != nil {
+				return nil, fmt.Errorf("exec: task %d failed: %w", ev.task.ID, ev.err)
+			}
+			id := ev.task.ID
+			done[id] = true
+			delete(running, id)
+			now := e.Clock.Now() - start
+			rep.Finish[id] = now
+			rep.Trace = append(rep.Trace, TraceEvent{Time: now, Kind: "complete", TaskID: id, Degree: 0})
+			// Publish the fragment's output for consumers.
+			frag := byID[id].Frag
+			switch frag.Out {
+			case plan.HashOut:
+				hashes[frag] = ev.rt.fr.outHash
+			case plan.RootOut:
+				temps[frag] = ev.rt.fr.outTemp
+				rep.Results[id] = ev.rt.fr.outTemp
+			default:
+				temps[frag] = ev.rt.fr.outTemp
+			}
+			// Tell the controller about the completion before submitting
+			// the tasks it unblocked, so its running-set is consistent.
+			if err := apply(ctl.Complete(ev.task)); err != nil {
+				return nil, err
+			}
+			if err := submitReady(); err != nil {
+				return nil, err
+			}
+		case arrivalTick:
+			arrived[ev.id] = true
+			if err := submitReady(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("exec: unexpected event %T", ev)
+		}
+	}
+	rep.Elapsed = e.Clock.Now() - start
+	rep.Disk = e.Store.Disks.Stats()
+	return rep, nil
+}
+
+// driverFor picks the partitioner matching the fragment's driving leaf
+// (§2.4: page partitioning for sequential scans, range partitioning for
+// index scans, merge-range partitioning for merge joins).
+func (e *Engine) driverFor(fr *fragRun) (driver, error) {
+	leaf, kind := fr.driverInfo()
+	switch kind {
+	case plan.PageDriver:
+		return newPageDriver(fr, leaf)
+	case plan.RangeDriver:
+		return newRangeDriver(fr, leaf)
+	case plan.MergeDriver:
+		return newMergeDriver(fr, leaf)
+	default:
+		return nil, fmt.Errorf("exec: unknown driver kind %v", kind)
+	}
+}

@@ -1,0 +1,293 @@
+package exec
+
+import (
+	"fmt"
+
+	"xprs/internal/btree"
+	"xprs/internal/expr"
+	"xprs/internal/plan"
+	"xprs/internal/storage"
+)
+
+// fragRun is the runtime of one fragment: the compiled pipeline plus its
+// input temps/hash tables and its output.
+type fragRun struct {
+	eng  *Engine
+	frag *plan.Fragment
+
+	// inputs, resolved from the engine's run context at launch
+	temps  map[*plan.Fragment]*Temp
+	hashes map[*plan.Fragment]*HashTable
+
+	outTemp *Temp      // for RootOut / TempOut / SortedOut
+	outHash *HashTable // for HashOut
+	agg     *aggState  // non-nil when the fragment root is an Agg
+
+	// process consumes one driver tuple inside a slave.
+	process func(sc *slaveCtx, t storage.Tuple) error
+}
+
+// newFragRun wires a fragment to its materialized inputs and compiles
+// the pipeline.
+func newFragRun(eng *Engine, frag *plan.Fragment, temps map[*plan.Fragment]*Temp, hashes map[*plan.Fragment]*HashTable) (*fragRun, error) {
+	fr := &fragRun{eng: eng, frag: frag, temps: temps, hashes: hashes}
+	outSchema := frag.Root.OutSchema()
+	switch frag.Out {
+	case plan.HashOut:
+		fr.outHash = NewHashTable(outSchema, frag.HashCol)
+	default:
+		fr.outTemp = NewTemp(outSchema)
+	}
+	sink, err := fr.compileSink()
+	if err != nil {
+		return nil, err
+	}
+	proc, err := fr.compile(frag.Root, sink, true)
+	if err != nil {
+		return nil, err
+	}
+	fr.process = proc
+	return fr, nil
+}
+
+// finalize seals the fragment output after all slaves finished, charging
+// any residual CPU (the master's k-way merge of a sorted temp) to the
+// calling goroutine's clock.
+func (fr *fragRun) finalize() {
+	if fr.agg != nil {
+		groups := fr.agg.emit(fr.outTemp)
+		fr.eng.chargeMasterCPU(float64(groups) * fr.eng.Params.EmitCPU)
+	}
+	if fr.frag.Out == plan.SortedOut {
+		cmps := fr.outTemp.Finalize(fr.frag.SortCol)
+		fr.eng.chargeMasterCPU(float64(cmps) * fr.eng.Params.SortCmpCPU)
+	}
+}
+
+// compileSink builds the terminal consumer of the pipeline.
+func (fr *fragRun) compileSink() (func(sc *slaveCtx, t storage.Tuple) error, error) {
+	if fr.outHash != nil {
+		return func(sc *slaveCtx, t storage.Tuple) error {
+			sc.chargeCPU(fr.eng.Params.HashInsertCPU)
+			return fr.outHash.Insert(t)
+		}, nil
+	}
+	return func(sc *slaveCtx, t storage.Tuple) error {
+		sc.buffer(t)
+		return nil
+	}, nil
+}
+
+// compile builds the per-driver-tuple processing chain for the subtree
+// rooted at n. The returned function is invoked with tuples produced by
+// the subtree's driver leaf; atRoot marks the fragment root (where Sort
+// is absorbed into the output).
+func (fr *fragRun) compile(n plan.Node, sink func(*slaveCtx, storage.Tuple) error, atRoot bool) (func(*slaveCtx, storage.Tuple) error, error) {
+	switch x := n.(type) {
+	case *plan.SeqScan:
+		filter := x.Filter
+		return func(sc *slaveCtx, t storage.Tuple) error {
+			ok, err := expr.Qualifies(filter, t)
+			if err != nil {
+				return err
+			}
+			if ok {
+				return sink(sc, t)
+			}
+			return nil
+		}, nil
+
+	case *plan.IndexScan:
+		filter := x.Filter
+		return func(sc *slaveCtx, t storage.Tuple) error {
+			ok, err := expr.Qualifies(filter, t)
+			if err != nil {
+				return err
+			}
+			if ok {
+				return sink(sc, t)
+			}
+			return nil
+		}, nil
+
+	case *plan.FragScan:
+		// Driver tuples come straight from the temp; no residual filter.
+		return sink, nil
+
+	case *plan.Sort:
+		if !atRoot {
+			return nil, fmt.Errorf("exec: Sort below fragment root")
+		}
+		// The per-tuple path of a sort is plain collection; ordering
+		// happens in finalize.
+		return fr.compile(x.Child, sink, false)
+
+	case *plan.Agg:
+		if !atRoot {
+			return nil, fmt.Errorf("exec: Agg below fragment root")
+		}
+		fr.agg = newAggState(x)
+		foldCPU := fr.eng.Params.HashInsertCPU
+		return fr.compile(x.Child, func(sc *slaveCtx, t storage.Tuple) error {
+			sc.chargeCPU(foldCPU)
+			sc.accumulate(fr.agg, t)
+			return nil
+		}, false)
+
+	case *plan.NestLoop:
+		inner := x.Inner
+		pred := x.Pred
+		emitCPU := fr.eng.Params.EmitCPU
+		rescanCPU := fr.eng.Params.RescanSetupCPU
+		outerProc, err := fr.compile(x.Outer, func(sc *slaveCtx, ot storage.Tuple) error {
+			sc.chargeCPU(rescanCPU)
+			return fr.scanAll(sc, inner, func(sc *slaveCtx, it storage.Tuple) error {
+				joined := ot.Concat(it)
+				ok, err := expr.Qualifies(pred, joined)
+				if err != nil {
+					return err
+				}
+				if ok {
+					sc.chargeCPU(emitCPU)
+					return sink(sc, joined)
+				}
+				return nil
+			})
+		}, false)
+		if err != nil {
+			return nil, err
+		}
+		return outerProc, nil
+
+	case *plan.HashJoin:
+		fs, ok := x.Right.(*plan.FragScan)
+		if !ok {
+			return nil, fmt.Errorf("exec: HashJoin build side is %T, want FragScan (decompose first)", x.Right)
+		}
+		lcol := x.LCol
+		probeCPU := fr.eng.Params.HashProbeCPU
+		emitCPU := fr.eng.Params.EmitCPU
+		buildFrag := fs.Frag
+		return fr.compile(x.Left, func(sc *slaveCtx, lt storage.Tuple) error {
+			ht := fr.hashes[buildFrag]
+			if ht == nil {
+				return fmt.Errorf("exec: hash table for fragment f%d not built", buildFrag.ID)
+			}
+			sc.chargeCPU(probeCPU)
+			if lcol >= len(lt.Vals) {
+				return fmt.Errorf("exec: probe column %d out of range", lcol)
+			}
+			for _, bt := range ht.Probe(lt.Vals[lcol].Int) {
+				sc.chargeCPU(emitCPU)
+				if err := sink(sc, lt.Concat(bt)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, false)
+
+	case *plan.MergeJoin:
+		// Merge joins are fragment drivers; their tuples are produced by
+		// the merge driver directly and enter the chain above them, so
+		// compile is only ever called on them at the driver position.
+		return sink, nil
+
+	default:
+		return nil, fmt.Errorf("exec: cannot compile node %T", n)
+	}
+}
+
+// scanAll executes a full rescan of a nestloop inner input, charging the
+// appropriate IO and CPU (§2.1: the inner of a nestloop pipelines within
+// the fragment, re-read for every outer tuple).
+func (fr *fragRun) scanAll(sc *slaveCtx, n plan.Node, emit func(*slaveCtx, storage.Tuple) error) error {
+	switch x := n.(type) {
+	case *plan.SeqScan:
+		perTuple := fr.eng.Params.TupleCPU(x.Rel.Stats().AvgTupleSize)
+		for p := int64(0); p < x.Rel.NPages(); p++ {
+			tuples, err := fr.eng.Store.ReadPage(x.Rel, p)
+			if err != nil {
+				return err
+			}
+			sc.chargeCPU(perTuple * float64(len(tuples)))
+			for _, t := range tuples {
+				ok, err := expr.Qualifies(x.Filter, t)
+				if err != nil {
+					return err
+				}
+				if ok {
+					if err := emit(sc, t); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+
+	case *plan.IndexScan:
+		return fr.indexVisit(sc, x, x.Lo, x.Hi, emit)
+
+	case *plan.FragScan:
+		temp := fr.temps[x.Frag]
+		if temp == nil {
+			return fmt.Errorf("exec: temp for fragment f%d not materialized", x.Frag.ID)
+		}
+		readCPU := fr.eng.Params.TempReadCPU
+		for _, t := range temp.Tuples() {
+			sc.chargeCPU(readCPU)
+			if err := emit(sc, t); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("exec: node %T is not rescannable", n)
+	}
+}
+
+// indexVisit walks an index scan over [lo, hi], fetching each pointed-to
+// heap tuple with a (random) page read, applying the residual filter and
+// emitting matches.
+func (fr *fragRun) indexVisit(sc *slaveCtx, x *plan.IndexScan, lo, hi int32, emit func(*slaveCtx, storage.Tuple) error) error {
+	perTuple := fr.eng.Params.TupleCPU(x.Rel.Stats().AvgTupleSize) + fr.eng.Params.IndexProbeCPU
+	var visitErr error
+	x.Index.Tree.Visit(lo, hi, func(_ int32, tid storage.TID) bool {
+		t, err := fr.eng.Store.ReadTID(x.Rel, tid)
+		if err != nil {
+			visitErr = err
+			return false
+		}
+		sc.chargeCPU(perTuple)
+		ok, err := expr.Qualifies(x.Filter, t)
+		if err != nil {
+			visitErr = err
+			return false
+		}
+		if ok {
+			if err := emit(sc, t); err != nil {
+				visitErr = err
+				return false
+			}
+		}
+		return true
+	})
+	return visitErr
+}
+
+// driverInfo resolves the fragment's driving leaf for the partitioners.
+func (fr *fragRun) driverInfo() (plan.Node, plan.DriverKind) {
+	return fr.frag.Driver()
+}
+
+// tempOf returns the materialized temp behind a FragScan.
+func (fr *fragRun) tempOf(fs *plan.FragScan) (*Temp, error) {
+	t := fr.temps[fs.Frag]
+	if t == nil {
+		return nil, fmt.Errorf("exec: temp for fragment f%d not materialized", fs.Frag.ID)
+	}
+	return t, nil
+}
+
+// indexOf returns the B-tree behind an IndexScan driver.
+func indexOf(x *plan.IndexScan) *btree.Index { return x.Index }

@@ -1,0 +1,366 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"xprs/internal/core"
+	"xprs/internal/cost"
+	"xprs/internal/storage"
+)
+
+// driver is the partitioning strategy of one fragment's driving scan
+// (§2.4): page partitioning, range partitioning, or merge-range
+// partitioning. Implementations are stateless beyond construction; all
+// mutable state lives in assignments and reports.
+type driver interface {
+	// initial splits the whole scan into degree assignments. An
+	// assignment may be nil (more slaves than work); such slaves exit
+	// immediately.
+	initial(degree int) ([]assignment, error)
+	// repartition redistributes the remaining work reported by paused
+	// slaves over degree new assignments.
+	repartition(remaining []report, degree int) ([]assignment, error)
+	// run executes one slave over its (possibly re-assigned) work,
+	// honoring the pause protocol through sc.checkpoint.
+	run(sc *slaveCtx) error
+}
+
+// assignment is a driver-specific work share handed to one slave.
+type assignment interface{}
+
+// report is a driver-specific description of one paused slave's
+// remaining work.
+type report interface{}
+
+// slaveState is the master-visible state of one slave backend.
+type slaveState struct {
+	slot    int
+	assign  assignment
+	pending assignment // next assignment, set by the master during a round
+	// curProgress is published by the slave at every checkpoint so the
+	// master can compute maxpage / remaining intervals.
+	progress report
+	reported bool
+	done     bool
+	reportCh chan struct{}
+	resumeCh chan struct{}
+}
+
+// runningTask is one executing fragment: its slaves, degree, and the
+// §2.4 adjustment protocol state.
+type runningTask struct {
+	eng  *Engine
+	task *core.Task
+	fr   *fragRun
+	drv  driver
+
+	mu        sync.Mutex
+	slaves    map[int]*slaveState
+	nextSlot  int
+	degree    int
+	round     bool // an adjustment round is active
+	active    int  // number of live slaves
+	completed bool // completion has been posted
+	failure   error
+}
+
+// launch starts the task's slave backends at the given degree.
+func (rt *runningTask) launch(degree int) error {
+	assigns, err := rt.drv.initial(degree)
+	if err != nil {
+		return err
+	}
+	rt.mu.Lock()
+	rt.degree = degree
+	for _, a := range assigns {
+		if a == nil {
+			continue
+		}
+		rt.spawnLocked(a)
+	}
+	empty := rt.active == 0
+	rt.mu.Unlock()
+	if empty {
+		// Nothing to scan (empty relation): complete immediately.
+		rt.complete(nil)
+	}
+	return nil
+}
+
+// spawnLocked registers and starts one slave goroutine. Caller holds
+// rt.mu.
+func (rt *runningTask) spawnLocked(a assignment) {
+	s := &slaveState{slot: rt.nextSlot, assign: a}
+	rt.nextSlot++
+	rt.slaves[s.slot] = s
+	rt.active++
+	sc := &slaveCtx{rt: rt, state: s}
+	key := slaveKey(rt.task.ID, s.slot)
+	rt.eng.Clock.Go(func() {
+		// Park before any side effect so simultaneously spawned slaves
+		// touch the disk queues in a deterministic order.
+		rt.eng.Clock.YieldOrdered(key)
+		err := rt.drv.run(sc)
+		sc.flushAll()
+		rt.slaveExit(s, err)
+	})
+}
+
+// slaveExit removes a finished slave, feeding any active adjustment
+// round and posting task completion when the last slave leaves.
+func (rt *runningTask) slaveExit(s *slaveState, err error) {
+	rt.mu.Lock()
+	if err != nil && rt.failure == nil {
+		rt.failure = err
+	}
+	delete(rt.slaves, s.slot)
+	rt.active--
+	last := rt.active == 0 && !rt.completed
+	if last {
+		rt.completed = true
+	}
+	var reportCh chan struct{}
+	if rt.round && !s.reported {
+		s.reported = true
+		s.done = true
+		reportCh = s.reportCh
+	}
+	failure := rt.failure
+	rt.mu.Unlock()
+	if reportCh != nil {
+		rt.eng.Clock.Signal(reportCh)
+	}
+	if last {
+		rt.complete(failure)
+	}
+}
+
+// complete finalizes the fragment output and posts the completion event.
+func (rt *runningTask) complete(err error) {
+	if err == nil {
+		rt.fr.finalize()
+	}
+	rt.eng.events.Post(taskDone{task: rt.task, rt: rt, err: err})
+}
+
+// adjust runs the §2.4 dynamic parallelism-adjustment protocol
+// (Figures 5 and 6): signal all participating slaves, collect their
+// progress, compute the new partition, and resume them under the new
+// degree, starting or retiring slaves as needed. It is called only from
+// the master backend.
+func (rt *runningTask) adjust(newDegree int) error {
+	rt.mu.Lock()
+	if rt.active == 0 || rt.round {
+		rt.mu.Unlock()
+		return nil // task already finished (or being adjusted)
+	}
+	rt.round = true
+	// Phase 1: the master "sends a signal to all participating slave
+	// backends" — materialized as per-slave report/resume channels the
+	// slaves observe at their next checkpoint. Participants are ordered
+	// by slot: the repartition below assigns fresh strides by position,
+	// and map iteration order must not leak into the partition.
+	participants := make([]*slaveState, 0, len(rt.slaves))
+	for _, s := range rt.slaves {
+		s.reported = false
+		s.done = false
+		s.reportCh = make(chan struct{})
+		s.resumeCh = make(chan struct{})
+		participants = append(participants, s)
+	}
+	sort.Slice(participants, func(i, j int) bool { return participants[i].slot < participants[j].slot })
+	rt.mu.Unlock()
+
+	// Phase 2: wait for every participant to report its progress (or
+	// exit). Slaves blocked in a disk read report at their next page
+	// boundary; virtual time advances underneath this wait.
+	for _, s := range participants {
+		rt.eng.Clock.WaitSignal(s.reportCh)
+	}
+
+	rt.mu.Lock()
+	var remaining []report
+	var live []*slaveState
+	for _, s := range participants {
+		if s.done {
+			continue
+		}
+		remaining = append(remaining, s.progress)
+		live = append(live, s)
+	}
+	if len(live) == 0 {
+		// Everyone finished while we were collecting; nothing to adjust.
+		rt.round = false
+		rt.mu.Unlock()
+		return nil
+	}
+	assigns, err := rt.drv.repartition(remaining, newDegree)
+	if err != nil {
+		// Abort the round: resume everyone with their old assignments.
+		for _, s := range live {
+			s.pending = s.assign
+		}
+		rt.round = false
+		resumes := resumeChannels(live)
+		rt.mu.Unlock()
+		for _, ch := range resumes {
+			rt.eng.Clock.Signal(ch)
+		}
+		return fmt.Errorf("exec: adjusting task %d: %w", rt.task.ID, err)
+	}
+
+	// Phase 3: hand the first len(live) non-nil assignments to the
+	// surviving slaves (nil retires them) and spawn new slaves for the
+	// rest.
+	idx := 0
+	for _, s := range live {
+		if idx < len(assigns) {
+			s.pending = assigns[idx]
+			idx++
+		} else {
+			s.pending = nil // retire
+		}
+	}
+	for ; idx < len(assigns); idx++ {
+		if assigns[idx] != nil {
+			rt.spawnLocked(assigns[idx])
+		}
+	}
+	rt.degree = newDegree
+	rt.round = false
+	resumes := resumeChannels(live)
+	rt.mu.Unlock()
+	for _, ch := range resumes {
+		rt.eng.Clock.Signal(ch)
+	}
+	return nil
+}
+
+func resumeChannels(live []*slaveState) []chan struct{} {
+	out := make([]chan struct{}, len(live))
+	for i, s := range live {
+		out[i] = s.resumeCh
+	}
+	return out
+}
+
+// slaveKey builds a stable ordering identity for a slave goroutine.
+func slaveKey(taskID, slot int) int64 {
+	return int64(taskID)<<20 | int64(slot)
+}
+
+// Degree returns the task's current degree of parallelism.
+func (rt *runningTask) Degree() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.degree
+}
+
+// slaveCtx is the per-slave execution context: CPU accounting, output
+// buffering, and the slave side of the adjustment protocol.
+type slaveCtx struct {
+	rt    *runningTask
+	state *slaveState
+
+	cpuDebt float64 // accumulated CPU seconds not yet slept
+	outBuf  []storage.Tuple
+	// aggLocal is this slave's private accumulator table when the
+	// fragment root is an Agg (two-phase parallel aggregation).
+	aggLocal map[int32][]int64
+}
+
+// checkpoint is called by drivers at safe pause points (page boundaries
+// for page partitioning, key boundaries for range partitioning). It
+// publishes progress, and if the master has signalled an adjustment
+// round it reports and blocks until resumed. The return value is the
+// slave's assignment to continue with; nil means the slave was retired
+// (or its work is exhausted) and must exit.
+func (sc *slaveCtx) checkpoint(progress report) assignment {
+	rt := sc.rt
+	rt.mu.Lock()
+	s := sc.state
+	s.progress = progress
+	if !rt.round || s.reported {
+		a := s.assign
+		rt.mu.Unlock()
+		return a
+	}
+	// Participate in the round: flush buffered CPU/output first so the
+	// master's view of virtual time is consistent.
+	s.reported = true
+	reportCh := s.reportCh
+	resumeCh := s.resumeCh
+	rt.mu.Unlock()
+
+	sc.flushCPU()
+	rt.eng.Clock.Signal(reportCh)
+	rt.eng.Clock.WaitSignal(resumeCh)
+	// All participants are released together; park so they reorder
+	// deterministically before touching the disks again.
+	rt.eng.Clock.YieldOrdered(slaveKey(rt.task.ID, sc.state.slot))
+
+	rt.mu.Lock()
+	s.assign = s.pending
+	s.pending = nil
+	a := s.assign
+	rt.mu.Unlock()
+	return a
+}
+
+// pausePending reports whether the master has opened an adjustment
+// round this slave has not answered yet; drivers stop refilling their
+// readahead queues and head for the next safe point when it turns true.
+func (sc *slaveCtx) pausePending() bool {
+	rt := sc.rt
+	rt.mu.Lock()
+	p := rt.round && !sc.state.reported
+	rt.mu.Unlock()
+	return p
+}
+
+// chargeCPU accrues seconds of CPU work, sleeping when the debt passes
+// the engine's charge quantum (batching keeps the event count low).
+func (sc *slaveCtx) chargeCPU(seconds float64) {
+	sc.cpuDebt += seconds
+	if sc.cpuDebt >= sc.rt.eng.cpuQuantum {
+		sc.flushCPU()
+	}
+}
+
+func (sc *slaveCtx) flushCPU() {
+	if sc.cpuDebt > 0 {
+		sc.rt.eng.Clock.Sleep(cost.Seconds(sc.cpuDebt))
+		sc.cpuDebt = 0
+	}
+}
+
+// buffer queues an output tuple, flushing to the shared temp in batches.
+func (sc *slaveCtx) buffer(t storage.Tuple) {
+	sc.outBuf = append(sc.outBuf, t)
+	if len(sc.outBuf) >= 256 {
+		sc.flushOut()
+	}
+}
+
+func (sc *slaveCtx) flushOut() {
+	if len(sc.outBuf) == 0 {
+		return
+	}
+	if sc.rt.fr.outTemp != nil {
+		sc.rt.fr.outTemp.Append(sc.outBuf)
+	}
+	sc.outBuf = nil
+}
+
+// flushAll drains all buffers at slave exit, merging aggregation
+// partials into the fragment's shared state.
+func (sc *slaveCtx) flushAll() {
+	if sc.rt.fr.agg != nil && sc.aggLocal != nil {
+		sc.rt.fr.agg.mergeInto(sc.aggLocal)
+		sc.aggLocal = nil
+	}
+	sc.flushOut()
+	sc.flushCPU()
+}

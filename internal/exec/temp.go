@@ -1,0 +1,200 @@
+// Package exec is the XPRS parallel executor: the master backend /
+// slave backend architecture of §2.1, Figure 2. The master applies
+// scheduling decisions from internal/core; slave backends (goroutines)
+// execute plan-fragment pipelines over partitions of the driving scan,
+// with page partitioning for sequential scans and range partitioning for
+// index scans (§2.4), including both dynamic parallelism-adjustment
+// protocols (Figures 5 and 6).
+//
+// All CPU work and disk service is charged to the engine's clock;
+// under a vclock.Virtual the whole execution is a deterministic
+// simulation calibrated to the paper's hardware, while the identical
+// code path runs in real time under vclock.Real.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"xprs/internal/storage"
+)
+
+// Temp is a materialized fragment result living in shared memory. On the
+// paper's shared-memory machine, temporaries are exchanged through the
+// buffer pool without crossing disks; accordingly reads of a Temp charge
+// CPU but no IO.
+type Temp struct {
+	Schema storage.Schema
+
+	mu     sync.Mutex
+	tuples []storage.Tuple
+	// sortedBy is the column the tuples are ordered on, or -1.
+	sortedBy int
+}
+
+// NewTemp creates an empty temp with the given schema.
+func NewTemp(schema storage.Schema) *Temp {
+	return &Temp{Schema: schema, sortedBy: -1}
+}
+
+// Append adds a batch of tuples (slave backends flush local buffers).
+func (t *Temp) Append(batch []storage.Tuple) {
+	if len(batch) == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.tuples = append(t.tuples, batch...)
+	t.mu.Unlock()
+}
+
+// Len returns the number of tuples.
+func (t *Temp) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.tuples)
+}
+
+// SortedBy returns the order column, or -1 when unordered.
+func (t *Temp) SortedBy() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sortedBy
+}
+
+// Tuples returns the backing slice. Callers must treat it as read-only;
+// it is only exposed after the producing fragment has completed.
+func (t *Temp) Tuples() []storage.Tuple {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tuples
+}
+
+// Finalize sorts the temp on col (-1 keeps arrival order) and seals it.
+// It returns the number of comparisons performed so the caller can
+// charge CPU for them.
+func (t *Temp) Finalize(col int) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if col < 0 {
+		t.sortedBy = -1
+		return 0
+	}
+	var cmps int64
+	sort.SliceStable(t.tuples, func(i, j int) bool {
+		cmps++
+		return t.tuples[i].Vals[col].Int < t.tuples[j].Vals[col].Int
+	})
+	t.sortedBy = col
+	return cmps
+}
+
+// chunkSize is the virtual page size of a Temp for page partitioning:
+// FragScan drivers hand out chunks the way sequential scans hand out
+// disk pages.
+const chunkSize = 64
+
+// NumChunks returns the number of partitionable chunks.
+func (t *Temp) NumChunks() int64 {
+	n := int64(t.Len())
+	return (n + chunkSize - 1) / chunkSize
+}
+
+// Chunk returns the tuples of chunk c.
+func (t *Temp) Chunk(c int64) []storage.Tuple {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	lo := c * chunkSize
+	hi := lo + chunkSize
+	if lo >= int64(len(t.tuples)) {
+		return nil
+	}
+	if hi > int64(len(t.tuples)) {
+		hi = int64(len(t.tuples))
+	}
+	return t.tuples[lo:hi]
+}
+
+// lowerBound returns the first index whose col value is >= key. The temp
+// must be sorted on col.
+func (t *Temp) lowerBound(col int, key int32) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return sort.Search(len(t.tuples), func(i int) bool {
+		return t.tuples[i].Vals[col].Int >= key
+	})
+}
+
+// upperBound returns the first index whose col value is > key.
+func (t *Temp) upperBound(col int, key int32) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return sort.Search(len(t.tuples), func(i int) bool {
+		return t.tuples[i].Vals[col].Int > key
+	})
+}
+
+// CountRange returns the number of tuples with col in [lo, hi]; the temp
+// must be sorted on col.
+func (t *Temp) CountRange(col int, lo, hi int32) int {
+	if lo > hi {
+		return 0
+	}
+	return t.upperBound(col, hi) - t.lowerBound(col, lo)
+}
+
+// Bounds returns the min and max of the sort column; ok is false when
+// empty.
+func (t *Temp) Bounds(col int) (lo, hi int32, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.tuples) == 0 {
+		return 0, 0, false
+	}
+	return t.tuples[0].Vals[col].Int, t.tuples[len(t.tuples)-1].Vals[col].Int, true
+}
+
+// HashTable is the shared-memory hash table a HashOut fragment builds
+// and a HashJoin probe consumes.
+type HashTable struct {
+	Schema storage.Schema
+	Col    int
+
+	mu      sync.Mutex
+	buckets map[int32][]storage.Tuple
+	n       int
+}
+
+// NewHashTable creates an empty table keyed on the given column of the
+// build schema.
+func NewHashTable(schema storage.Schema, col int) *HashTable {
+	return &HashTable{Schema: schema, Col: col, buckets: make(map[int32][]storage.Tuple)}
+}
+
+// Insert adds one build tuple.
+func (h *HashTable) Insert(t storage.Tuple) error {
+	if h.Col >= len(t.Vals) {
+		return fmt.Errorf("exec: hash column %d out of range", h.Col)
+	}
+	k := t.Vals[h.Col].Int
+	h.mu.Lock()
+	h.buckets[k] = append(h.buckets[k], t)
+	h.n++
+	h.mu.Unlock()
+	return nil
+}
+
+// Probe returns the build tuples matching key. The returned slice is
+// read-only and only valid after the build fragment completed.
+func (h *HashTable) Probe(key int32) []storage.Tuple {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.buckets[key]
+}
+
+// Len returns the number of inserted tuples.
+func (h *HashTable) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}

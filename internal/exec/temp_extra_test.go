@@ -1,0 +1,128 @@
+package exec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xprs/internal/plan"
+	"xprs/internal/storage"
+)
+
+// Property: Temp.CountRange after Finalize(col) agrees with a brute-force
+// count for arbitrary values and ranges.
+func TestPropertyTempCountRange(t *testing.T) {
+	f := func(vals []int32, lo, hi int32) bool {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		temp := NewTemp(storage.NewSchema(storage.Column{Name: "a", Typ: storage.Int4}))
+		batch := make([]storage.Tuple, len(vals))
+		for i, v := range vals {
+			batch[i] = storage.NewTuple(storage.IntVal(v))
+		}
+		temp.Append(batch)
+		temp.Finalize(0)
+		want := 0
+		for _, v := range vals {
+			if v >= lo && v <= hi {
+				want++
+			}
+		}
+		return temp.CountRange(0, lo, hi) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: chunking covers every tuple exactly once.
+func TestPropertyTempChunksPartition(t *testing.T) {
+	f := func(n uint16) bool {
+		count := int(n % 1000)
+		temp := NewTemp(storage.NewSchema(storage.Column{Name: "a", Typ: storage.Int4}))
+		batch := make([]storage.Tuple, count)
+		for i := range batch {
+			batch[i] = storage.NewTuple(storage.IntVal(int32(i)))
+		}
+		temp.Append(batch)
+		seen := 0
+		for c := int64(0); c < temp.NumChunks(); c++ {
+			for _, tp := range temp.Chunk(c) {
+				if tp.Vals[0].Int != int32(seen) {
+					return false
+				}
+				seen++
+			}
+		}
+		return seen == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: two-phase aggregation (arbitrary partitioning into slave
+// partials, then merge) equals single-pass aggregation.
+func TestPropertyAggMergeEquivalence(t *testing.T) {
+	f := func(keys []uint8, split uint8) bool {
+		st := newAggStateForTest()
+		// Single-pass reference.
+		ref := map[int32][]int64{}
+		for _, k := range keys {
+			key := int32(k % 7)
+			acc, ok := ref[key]
+			if !ok {
+				acc = initAccum(st.funcs)
+				ref[key] = acc
+			}
+			fold(acc, st.funcs, storage.NewTuple(storage.IntVal(key)))
+		}
+		// Two-phase: split the stream at an arbitrary point into two
+		// partials, merge both.
+		cut := 0
+		if len(keys) > 0 {
+			cut = int(split) % (len(keys) + 1)
+		}
+		for _, part := range [][]uint8{keys[:cut], keys[cut:]} {
+			partial := map[int32][]int64{}
+			for _, k := range part {
+				key := int32(k % 7)
+				acc, ok := partial[key]
+				if !ok {
+					acc = initAccum(st.funcs)
+					partial[key] = acc
+				}
+				fold(acc, st.funcs, storage.NewTuple(storage.IntVal(key)))
+			}
+			st.mergeInto(partial)
+		}
+		if len(st.groups) != len(ref) {
+			return false
+		}
+		for k, want := range ref {
+			got := st.groups[k]
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newAggStateForTest() *aggState {
+	return &aggState{
+		groupCol: 0,
+		funcs: []plan.AggFunc{
+			{Kind: plan.CountAll},
+			{Kind: plan.Sum, Col: 0},
+			{Kind: plan.Min, Col: 0},
+			{Kind: plan.Max, Col: 0},
+		},
+		groups: map[int32][]int64{},
+	}
+}

@@ -1,0 +1,247 @@
+// Package expr implements qualification expressions over tuples: column
+// references, constants, comparisons and boolean connectives. The paper's
+// workloads are one-variable selections ("a selection on r1.a", §3), but
+// the optimizer (§4) needs join predicates and selectivity estimation as
+// well, so the package carries the standard System-R selectivity rules.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"xprs/internal/storage"
+)
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+// String implements fmt.Stringer.
+func (op CmpOp) String() string {
+	switch op {
+	case EQ:
+		return "="
+	case NE:
+		return "<>"
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(op))
+	}
+}
+
+// Expr is a boolean or scalar expression evaluated against one tuple.
+type Expr interface {
+	// Eval computes the expression over t.
+	Eval(t storage.Tuple) (storage.Value, error)
+	// String renders the expression for EXPLAIN output.
+	String() string
+}
+
+// Col references a column of the input tuple by position.
+type Col struct {
+	Idx  int
+	Name string // for display only
+}
+
+// Eval implements Expr.
+func (c Col) Eval(t storage.Tuple) (storage.Value, error) {
+	if c.Idx < 0 || c.Idx >= len(t.Vals) {
+		return storage.Value{}, fmt.Errorf("expr: column %d out of range (tuple has %d)", c.Idx, len(t.Vals))
+	}
+	return t.Vals[c.Idx], nil
+}
+
+// String implements Expr.
+func (c Col) String() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("$%d", c.Idx)
+}
+
+// Const is a literal value.
+type Const struct {
+	Val storage.Value
+}
+
+// Eval implements Expr.
+func (c Const) Eval(storage.Tuple) (storage.Value, error) { return c.Val, nil }
+
+// String implements Expr.
+func (c Const) String() string { return c.Val.String() }
+
+// Cmp compares two sub-expressions. Both sides must evaluate to the same
+// type.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Eval implements Expr; it yields int4 1 or 0 (boolean).
+func (c Cmp) Eval(t storage.Tuple) (storage.Value, error) {
+	l, err := c.L.Eval(t)
+	if err != nil {
+		return storage.Value{}, err
+	}
+	r, err := c.R.Eval(t)
+	if err != nil {
+		return storage.Value{}, err
+	}
+	if l.Typ != r.Typ {
+		return storage.Value{}, fmt.Errorf("expr: comparing %v with %v", l.Typ, r.Typ)
+	}
+	cmp := l.Compare(r)
+	var ok bool
+	switch c.Op {
+	case EQ:
+		ok = cmp == 0
+	case NE:
+		ok = cmp != 0
+	case LT:
+		ok = cmp < 0
+	case LE:
+		ok = cmp <= 0
+	case GT:
+		ok = cmp > 0
+	case GE:
+		ok = cmp >= 0
+	default:
+		return storage.Value{}, fmt.Errorf("expr: unknown comparison %v", c.Op)
+	}
+	return boolVal(ok), nil
+}
+
+// String implements Expr.
+func (c Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", c.L.String(), c.Op.String(), c.R.String())
+}
+
+// LogicOp is a boolean connective.
+type LogicOp int
+
+const (
+	And LogicOp = iota
+	Or
+	Not
+)
+
+// Logic combines boolean sub-expressions. Not takes exactly one child.
+type Logic struct {
+	Op   LogicOp
+	Kids []Expr
+}
+
+// Eval implements Expr.
+func (l Logic) Eval(t storage.Tuple) (storage.Value, error) {
+	switch l.Op {
+	case Not:
+		if len(l.Kids) != 1 {
+			return storage.Value{}, fmt.Errorf("expr: NOT takes 1 child, has %d", len(l.Kids))
+		}
+		v, err := l.Kids[0].Eval(t)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		return boolVal(!truthy(v)), nil
+	case And:
+		for _, k := range l.Kids {
+			v, err := k.Eval(t)
+			if err != nil {
+				return storage.Value{}, err
+			}
+			if !truthy(v) {
+				return boolVal(false), nil
+			}
+		}
+		return boolVal(true), nil
+	case Or:
+		for _, k := range l.Kids {
+			v, err := k.Eval(t)
+			if err != nil {
+				return storage.Value{}, err
+			}
+			if truthy(v) {
+				return boolVal(true), nil
+			}
+		}
+		return boolVal(false), nil
+	default:
+		return storage.Value{}, fmt.Errorf("expr: unknown connective %d", int(l.Op))
+	}
+}
+
+// String implements Expr.
+func (l Logic) String() string {
+	if l.Op == Not {
+		if len(l.Kids) == 1 {
+			return "NOT (" + l.Kids[0].String() + ")"
+		}
+		return "NOT(?)"
+	}
+	word := " AND "
+	if l.Op == Or {
+		word = " OR "
+	}
+	parts := make([]string, len(l.Kids))
+	for i, k := range l.Kids {
+		parts[i] = "(" + k.String() + ")"
+	}
+	return strings.Join(parts, word)
+}
+
+func boolVal(b bool) storage.Value {
+	if b {
+		return storage.IntVal(1)
+	}
+	return storage.IntVal(0)
+}
+
+func truthy(v storage.Value) bool {
+	if v.Typ == storage.Int4 {
+		return v.Int != 0
+	}
+	return v.Str != ""
+}
+
+// Qualifies evaluates a boolean expression and reports whether the tuple
+// passes. A nil expression passes everything.
+func Qualifies(e Expr, t storage.Tuple) (bool, error) {
+	if e == nil {
+		return true, nil
+	}
+	v, err := e.Eval(t)
+	if err != nil {
+		return false, err
+	}
+	return truthy(v), nil
+}
+
+// Convenience constructors used pervasively by tests and the optimizer.
+
+// ColEqConst builds "col = const".
+func ColEqConst(idx int, name string, v int32) Expr {
+	return Cmp{Op: EQ, L: Col{Idx: idx, Name: name}, R: Const{Val: storage.IntVal(v)}}
+}
+
+// ColRange builds "lo <= col AND col <= hi".
+func ColRange(idx int, name string, lo, hi int32) Expr {
+	return Logic{Op: And, Kids: []Expr{
+		Cmp{Op: GE, L: Col{Idx: idx, Name: name}, R: Const{Val: storage.IntVal(lo)}},
+		Cmp{Op: LE, L: Col{Idx: idx, Name: name}, R: Const{Val: storage.IntVal(hi)}},
+	}}
+}

@@ -1,0 +1,285 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xprs/internal/storage"
+)
+
+func row(a int32, b string) storage.Tuple {
+	return storage.NewTuple(storage.IntVal(a), storage.TextVal(b))
+}
+
+func TestColEval(t *testing.T) {
+	v, err := Col{Idx: 0, Name: "a"}.Eval(row(7, "x"))
+	if err != nil || v.Int != 7 {
+		t.Fatalf("col eval: %v %v", v, err)
+	}
+	if _, err := (Col{Idx: 5}).Eval(row(1, "x")); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+	if (Col{Idx: 2}).String() != "$2" || (Col{Idx: 0, Name: "a"}).String() != "a" {
+		t.Fatal("col strings")
+	}
+}
+
+func TestCmpOperators(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		a, b int32
+		want bool
+	}{
+		{EQ, 1, 1, true}, {EQ, 1, 2, false},
+		{NE, 1, 2, true}, {NE, 1, 1, false},
+		{LT, 1, 2, true}, {LT, 2, 2, false},
+		{LE, 2, 2, true}, {LE, 3, 2, false},
+		{GT, 3, 2, true}, {GT, 2, 2, false},
+		{GE, 2, 2, true}, {GE, 1, 2, false},
+	}
+	for _, c := range cases {
+		e := Cmp{Op: c.op, L: Const{storage.IntVal(c.a)}, R: Const{storage.IntVal(c.b)}}
+		got, err := Qualifies(e, storage.Tuple{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("%d %s %d = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCmpTypeMismatch(t *testing.T) {
+	e := Cmp{Op: EQ, L: Const{storage.IntVal(1)}, R: Const{storage.TextVal("x")}}
+	if _, err := e.Eval(storage.Tuple{}); err == nil {
+		t.Fatal("cross-type comparison accepted")
+	}
+	bad := Cmp{Op: CmpOp(99), L: Const{storage.IntVal(1)}, R: Const{storage.IntVal(1)}}
+	if _, err := bad.Eval(storage.Tuple{}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestTextComparison(t *testing.T) {
+	e := Cmp{Op: LT, L: Col{Idx: 1}, R: Const{storage.TextVal("m")}}
+	ok, err := Qualifies(e, row(0, "apple"))
+	if err != nil || !ok {
+		t.Fatalf("apple < m: %v %v", ok, err)
+	}
+	ok, _ = Qualifies(e, row(0, "zebra"))
+	if ok {
+		t.Fatal("zebra < m")
+	}
+}
+
+func TestLogic(t *testing.T) {
+	lt := Cmp{Op: LT, L: Col{Idx: 0}, R: Const{storage.IntVal(10)}}
+	gt := Cmp{Op: GT, L: Col{Idx: 0}, R: Const{storage.IntVal(5)}}
+	and := Logic{Op: And, Kids: []Expr{lt, gt}}
+	or := Logic{Op: Or, Kids: []Expr{lt, gt}}
+	not := Logic{Op: Not, Kids: []Expr{lt}}
+
+	if ok, _ := Qualifies(and, row(7, "")); !ok {
+		t.Fatal("7 in (5,10) AND")
+	}
+	if ok, _ := Qualifies(and, row(3, "")); ok {
+		t.Fatal("3 in (5,10) AND")
+	}
+	if ok, _ := Qualifies(or, row(3, "")); !ok {
+		t.Fatal("3 OR")
+	}
+	if ok, _ := Qualifies(not, row(3, "")); ok {
+		t.Fatal("NOT(3<10)")
+	}
+	if ok, _ := Qualifies(not, row(30, "")); !ok {
+		t.Fatal("NOT(30<10)")
+	}
+	// Empty AND is true, empty OR is false.
+	if ok, _ := Qualifies(Logic{Op: And}, row(0, "")); !ok {
+		t.Fatal("empty AND")
+	}
+	if ok, _ := Qualifies(Logic{Op: Or}, row(0, "")); ok {
+		t.Fatal("empty OR")
+	}
+	if _, err := (Logic{Op: Not, Kids: []Expr{lt, gt}}).Eval(row(0, "")); err == nil {
+		t.Fatal("binary NOT accepted")
+	}
+	if _, err := (Logic{Op: LogicOp(9)}).Eval(row(0, "")); err == nil {
+		t.Fatal("unknown connective accepted")
+	}
+}
+
+func TestLogicErrorPropagation(t *testing.T) {
+	bad := Col{Idx: 99}
+	for _, op := range []LogicOp{And, Or, Not} {
+		if _, err := (Logic{Op: op, Kids: []Expr{bad}}).Eval(row(0, "")); err == nil {
+			t.Fatalf("op %d swallowed child error", op)
+		}
+	}
+	if _, err := (Cmp{Op: EQ, L: bad, R: Const{storage.IntVal(0)}}).Eval(row(0, "")); err == nil {
+		t.Fatal("cmp swallowed L error")
+	}
+	if _, err := (Cmp{Op: EQ, L: Const{storage.IntVal(0)}, R: bad}).Eval(row(0, "")); err == nil {
+		t.Fatal("cmp swallowed R error")
+	}
+}
+
+func TestQualifiesNil(t *testing.T) {
+	ok, err := Qualifies(nil, row(0, ""))
+	if err != nil || !ok {
+		t.Fatal("nil predicate must pass")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	e := ColRange(0, "a", 5, 10)
+	s := e.String()
+	if !strings.Contains(s, "a >= 5") || !strings.Contains(s, "AND") {
+		t.Fatalf("render = %q", s)
+	}
+	n := Logic{Op: Not, Kids: []Expr{ColEqConst(0, "a", 3)}}
+	if !strings.Contains(n.String(), "NOT") {
+		t.Fatalf("render = %q", n.String())
+	}
+	o := Logic{Op: Or, Kids: []Expr{ColEqConst(0, "a", 1), ColEqConst(0, "a", 2)}}
+	if !strings.Contains(o.String(), "OR") {
+		t.Fatalf("render = %q", o.String())
+	}
+	if (Logic{Op: Not}).String() != "NOT(?)" {
+		t.Fatal("malformed NOT render")
+	}
+	for _, op := range []CmpOp{EQ, NE, LT, LE, GT, GE} {
+		if op.String() == "" {
+			t.Fatal("op string empty")
+		}
+	}
+	if CmpOp(42).String() == "" {
+		t.Fatal("unknown op string empty")
+	}
+}
+
+func uniformStats(n int64, lo, hi int32) storage.RelStats {
+	return storage.RelStats{
+		NTuples: n,
+		Cols: []storage.ColStats{
+			{Min: lo, Max: hi, NDistinct: int64(hi-lo) + 1},
+			{AvgWidth: 20},
+		},
+	}
+}
+
+func TestSelectivityRange(t *testing.T) {
+	st := uniformStats(1000, 0, 999)
+	cases := []struct {
+		e    Expr
+		want float64
+		tol  float64
+	}{
+		{ColEqConst(0, "a", 5), 0.001, 1e-9},
+		{Cmp{Op: LT, L: Col{Idx: 0}, R: Const{storage.IntVal(500)}}, 0.5005, 0.01},
+		{Cmp{Op: GE, L: Col{Idx: 0}, R: Const{storage.IntVal(900)}}, 0.1, 0.01},
+		{Cmp{Op: LT, L: Col{Idx: 0}, R: Const{storage.IntVal(-5)}}, 0, 0},
+		{Cmp{Op: LT, L: Col{Idx: 0}, R: Const{storage.IntVal(2000)}}, 1, 0},
+		{Cmp{Op: GT, L: Col{Idx: 0}, R: Const{storage.IntVal(2000)}}, 0, 0},
+		{Cmp{Op: GT, L: Col{Idx: 0}, R: Const{storage.IntVal(-5)}}, 1, 0},
+		{Cmp{Op: NE, L: Col{Idx: 0}, R: Const{storage.IntVal(1)}}, 0.999, 1e-9},
+		{ColRange(0, "a", 0, 99), 0.1, 0.02},
+		{nil, 1, 0},
+	}
+	for i, c := range cases {
+		got := Selectivity(c.e, st)
+		if got < c.want-c.tol || got > c.want+c.tol {
+			t.Errorf("case %d: selectivity = %f, want %f±%f", i, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestSelectivityFlippedComparison(t *testing.T) {
+	st := uniformStats(1000, 0, 999)
+	// "500 > a" is "a < 500"
+	e := Cmp{Op: GT, L: Const{storage.IntVal(500)}, R: Col{Idx: 0}}
+	got := Selectivity(e, st)
+	if got < 0.45 || got > 0.55 {
+		t.Fatalf("flipped selectivity = %f", got)
+	}
+}
+
+func TestSelectivityDefaults(t *testing.T) {
+	st := uniformStats(100, 0, 9)
+	// Column without int stats (text) falls back to defaults.
+	if got := Selectivity(Cmp{Op: EQ, L: Col{Idx: 1}, R: Const{storage.TextVal("x")}}, st); got != defaultEqSel {
+		t.Fatalf("text eq = %f", got)
+	}
+	// Column index out of stats range.
+	if got := Selectivity(ColEqConst(9, "z", 1), st); got != defaultEqSel {
+		t.Fatalf("missing col = %f", got)
+	}
+	// Non col-const shape.
+	if got := Selectivity(Cmp{Op: EQ, L: Col{Idx: 0}, R: Col{Idx: 0}}, st); got != defaultRangeSel {
+		t.Fatalf("col-col = %f", got)
+	}
+	// Zero-width column with inequality.
+	st2 := uniformStats(100, 5, 5)
+	if got := Selectivity(Cmp{Op: LT, L: Col{Idx: 0}, R: Const{storage.IntVal(5)}}, st2); got != 0 {
+		t.Fatalf("v < min on zero-width = %f", got)
+	}
+}
+
+func TestSelectivityNotAndOr(t *testing.T) {
+	st := uniformStats(1000, 0, 999)
+	inner := Cmp{Op: LT, L: Col{Idx: 0}, R: Const{storage.IntVal(250)}}
+	if got := Selectivity(Logic{Op: Not, Kids: []Expr{inner}}, st); got < 0.70 || got > 0.80 {
+		t.Fatalf("NOT = %f", got)
+	}
+	or := Logic{Op: Or, Kids: []Expr{
+		Cmp{Op: LT, L: Col{Idx: 0}, R: Const{storage.IntVal(500)}},
+		Cmp{Op: GE, L: Col{Idx: 0}, R: Const{storage.IntVal(500)}},
+	}}
+	// Independence assumption gives 0.75, not 1; just require sane range.
+	if got := Selectivity(or, st); got <= 0.5 || got > 1 {
+		t.Fatalf("OR = %f", got)
+	}
+	if got := Selectivity(Logic{Op: Not, Kids: []Expr{inner, inner}}, st); got != defaultRangeSel {
+		t.Fatalf("malformed NOT = %f", got)
+	}
+}
+
+func TestJoinSelectivity(t *testing.T) {
+	l := storage.ColStats{NDistinct: 100}
+	r := storage.ColStats{NDistinct: 1000}
+	if got := JoinSelectivity(l, r); got != 0.001 {
+		t.Fatalf("join sel = %f", got)
+	}
+	if got := JoinSelectivity(storage.ColStats{}, storage.ColStats{}); got != defaultEqSel {
+		t.Fatalf("join sel no stats = %f", got)
+	}
+}
+
+// Property: selectivity is always in [0,1] for arbitrary range predicates.
+func TestPropertySelectivityBounded(t *testing.T) {
+	st := uniformStats(1000, -500, 499)
+	f := func(v int32, opRaw uint8) bool {
+		op := CmpOp(opRaw % 6)
+		s := Selectivity(Cmp{Op: op, L: Col{Idx: 0}, R: Const{storage.IntVal(v % 2000)}}, st)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Qualifies(ColRange(lo,hi)) agrees with direct evaluation.
+func TestPropertyRangeAgreement(t *testing.T) {
+	f := func(a, lo, hi int32) bool {
+		e := ColRange(0, "a", lo, hi)
+		got, err := Qualifies(e, row(a, ""))
+		if err != nil {
+			return false
+		}
+		return got == (a >= lo && a <= hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+package expr
+
+import (
+	"xprs/internal/storage"
+)
+
+// Default selectivities follow the classic System-R constants, used when
+// no statistics can pin down a predicate.
+const (
+	defaultEqSel    = 0.005
+	defaultRangeSel = 1.0 / 3.0
+	defaultNeSel    = 0.995
+)
+
+// Selectivity estimates the fraction of tuples from a relation with the
+// given statistics that satisfy e. The schema maps column indexes of e to
+// stats columns. A nil expression has selectivity 1.
+func Selectivity(e Expr, stats storage.RelStats) float64 {
+	if e == nil {
+		return 1
+	}
+	switch x := e.(type) {
+	case Cmp:
+		return cmpSelectivity(x, stats)
+	case Logic:
+		switch x.Op {
+		case And:
+			s := 1.0
+			for _, k := range x.Kids {
+				s *= Selectivity(k, stats)
+			}
+			return s
+		case Or:
+			s := 0.0
+			for _, k := range x.Kids {
+				sk := Selectivity(k, stats)
+				s = s + sk - s*sk // independence assumption
+			}
+			return s
+		case Not:
+			if len(x.Kids) == 1 {
+				return clampSel(1 - Selectivity(x.Kids[0], stats))
+			}
+		}
+	}
+	return defaultRangeSel
+}
+
+func cmpSelectivity(c Cmp, stats storage.RelStats) float64 {
+	col, cst, op, ok := normalizeCmp(c)
+	if !ok {
+		return defaultRangeSel
+	}
+	if col.Idx < 0 || col.Idx >= len(stats.Cols) {
+		return defaultSelFor(op)
+	}
+	cs := stats.Cols[col.Idx]
+	if cst.Typ != storage.Int4 || cs.NDistinct == 0 || cs.Max < cs.Min {
+		return defaultSelFor(op)
+	}
+	v := float64(cst.Int)
+	lo, hi := float64(cs.Min), float64(cs.Max)
+	// Integer-uniform model: the column takes hi-lo+1 equally likely
+	// values, so strict and non-strict comparisons differ by one value's
+	// worth of probability. The boundary cases fall out naturally,
+	// including degenerate single-value columns (lo == hi).
+	span := hi - lo + 1
+	switch op {
+	case EQ:
+		return clampSel(1 / float64(cs.NDistinct))
+	case NE:
+		return clampSel(1 - 1/float64(cs.NDistinct))
+	case LT:
+		if v <= lo {
+			return 0
+		}
+		if v > hi {
+			return 1
+		}
+		return clampSel((v - lo) / span)
+	case LE:
+		if v < lo {
+			return 0
+		}
+		if v >= hi {
+			return 1
+		}
+		return clampSel((v - lo + 1) / span)
+	case GT:
+		if v >= hi {
+			return 0
+		}
+		if v < lo {
+			return 1
+		}
+		return clampSel((hi - v) / span)
+	case GE:
+		if v > hi {
+			return 0
+		}
+		if v <= lo {
+			return 1
+		}
+		return clampSel((hi - v + 1) / span)
+	}
+	return defaultRangeSel
+}
+
+// normalizeCmp rewrites "const op col" into "col op' const" so the
+// estimator only handles one shape.
+func normalizeCmp(c Cmp) (Col, storage.Value, CmpOp, bool) {
+	if col, ok := c.L.(Col); ok {
+		if cst, ok2 := c.R.(Const); ok2 {
+			return col, cst.Val, c.Op, true
+		}
+	}
+	if col, ok := c.R.(Col); ok {
+		if cst, ok2 := c.L.(Const); ok2 {
+			return col, cst.Val, flipOp(c.Op), true
+		}
+	}
+	return Col{}, storage.Value{}, c.Op, false
+}
+
+func flipOp(op CmpOp) CmpOp {
+	switch op {
+	case LT:
+		return GT
+	case LE:
+		return GE
+	case GT:
+		return LT
+	case GE:
+		return LE
+	default:
+		return op
+	}
+}
+
+func defaultSelFor(op CmpOp) float64 {
+	switch op {
+	case EQ:
+		return defaultEqSel
+	case NE:
+		return defaultNeSel
+	default:
+		return defaultRangeSel
+	}
+}
+
+func clampSel(s float64) float64 {
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// JoinSelectivity estimates the selectivity of an equi-join between two
+// columns using 1/max(d1, d2), the textbook rule.
+func JoinSelectivity(left storage.ColStats, right storage.ColStats) float64 {
+	d := left.NDistinct
+	if right.NDistinct > d {
+		d = right.NDistinct
+	}
+	if d <= 0 {
+		return defaultEqSel
+	}
+	return clampSel(1 / float64(d))
+}

@@ -1,0 +1,340 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"xprs/internal/btree"
+	"xprs/internal/cost"
+	"xprs/internal/diskmodel"
+	"xprs/internal/expr"
+	"xprs/internal/plan"
+	"xprs/internal/storage"
+)
+
+func params() cost.Params { return cost.DefaultParams(diskmodel.DefaultConfig(), 8) }
+
+// rel builds a physical relation with n tuples, a = i mod distinct and a
+// pad column sized to steer the scan's IO rate.
+func rel(t *testing.T, id int32, name string, n int, distinct int32, pad int) *storage.Relation {
+	t.Helper()
+	b := storage.NewBuilder(id, name, storage.NewSchema(
+		storage.Column{Name: "a", Typ: storage.Int4},
+		storage.Column{Name: "b", Typ: storage.Text},
+	))
+	body := strings.Repeat("p", pad)
+	for i := 0; i < n; i++ {
+		if err := b.Append(storage.NewTuple(storage.IntVal(int32(i)%distinct), storage.TextVal(body))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Finalize()
+}
+
+func TestValidateQuery(t *testing.T) {
+	r1 := rel(t, 1, "r1", 100, 100, 20)
+	r2 := rel(t, 2, "r2", 100, 100, 20)
+	good := &Query{
+		Rels:  []QueryRel{{Rel: r1}, {Rel: r2}},
+		Joins: []JoinPred{{LRel: 0, LCol: 0, RRel: 1, RCol: 0}},
+	}
+	if err := good.validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Query{
+		{},
+		{Rels: []QueryRel{{Rel: nil}}},
+		{Rels: []QueryRel{{Rel: r1}, {Rel: r2}}, Joins: []JoinPred{{LRel: 0, LCol: 0, RRel: 5, RCol: 0}}},
+		{Rels: []QueryRel{{Rel: r1}, {Rel: r2}}, Joins: []JoinPred{{LRel: 0, LCol: 9, RRel: 1, RCol: 0}}},
+		{Rels: []QueryRel{{Rel: r1}, {Rel: r2}}, Joins: []JoinPred{{LRel: 0, LCol: 1, RRel: 1, RCol: 0}}}, // text col
+		{Rels: []QueryRel{{Rel: r1}, {Rel: r2}}, Joins: []JoinPred{{LRel: 0, LCol: 0, RRel: 0, RCol: 0}}}, // self join
+	}
+	for i, q := range bad {
+		if err := q.validate(); err == nil {
+			t.Errorf("bad[%d] validated", i)
+		}
+	}
+	// Index over the wrong relation.
+	ix, _ := btree.BuildIndex("r1_a", r1, 0, false)
+	wrong := &Query{Rels: []QueryRel{{Rel: r2, Index: ix}}}
+	if err := wrong.validate(); err == nil {
+		t.Error("wrong-relation index validated")
+	}
+	if (JoinPred{LRel: 0, LCol: 1, RRel: 2, RCol: 3}).String() == "" {
+		t.Error("JoinPred string")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if SeqCost.String() != "seqcost" || ParCost.String() != "parcost" {
+		t.Fatal("cost kind strings")
+	}
+	if LeftDeep.String() != "left-deep" || Bushy.String() != "bushy" {
+		t.Fatal("shape strings")
+	}
+}
+
+func TestSingleRelationAccessPaths(t *testing.T) {
+	p := params()
+	r := rel(t, 1, "r", 5000, 5000, 40)
+	ix, err := btree.BuildIndex("r_a", r, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Very selective range: the index scan must win.
+	res, err := Optimize(&Query{Rels: []QueryRel{{
+		Rel: r, Index: ix, KeyLo: 10, KeyHi: 19,
+		Filter: expr.ColRange(0, "a", 10, 19),
+	}}}, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Plan.(*plan.IndexScan); !ok {
+		t.Fatalf("selective access path = %T, want IndexScan", res.Plan)
+	}
+	// Full range: the sequential scan must win.
+	res, err = Optimize(&Query{Rels: []QueryRel{{
+		Rel: r, Index: ix, KeyLo: 0, KeyHi: 4999,
+	}}}, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Plan.(*plan.SeqScan); !ok {
+		t.Fatalf("full access path = %T, want SeqScan", res.Plan)
+	}
+	if res.SeqCost <= 0 || res.ParCost <= 0 {
+		t.Fatal("degenerate costs")
+	}
+	// Parallelism can only help: parcost <= seqcost.
+	if res.ParCost > res.SeqCost {
+		t.Fatalf("parcost %f > seqcost %f", res.ParCost, res.SeqCost)
+	}
+}
+
+func TestTwoWayJoinPicksHashJoin(t *testing.T) {
+	p := params()
+	r1 := rel(t, 1, "r1", 4000, 1000, 40)
+	r2 := rel(t, 2, "r2", 1000, 1000, 40)
+	q := &Query{
+		Rels:  []QueryRel{{Rel: r1}, {Rel: r2}},
+		Joins: []JoinPred{{LRel: 0, LCol: 0, RRel: 1, RCol: 0}},
+	}
+	res, err := Optimize(q, p, Options{Cost: SeqCost, Shape: LeftDeep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Plan.(*plan.HashJoin); !ok {
+		t.Fatalf("plan = %s, want hash join on top", plan.Explain(res.Plan))
+	}
+	// Nestloop-only optimization still yields a valid (worse) plan.
+	res2, err := Optimize(q, p, Options{DisableHashJoin: true, DisableMergeJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res2.Plan.(*plan.NestLoop); !ok {
+		t.Fatalf("plan = %T", res2.Plan)
+	}
+	if res2.SeqCost <= res.SeqCost {
+		t.Fatal("nestloop should cost more than hash join here")
+	}
+}
+
+func TestMergeJoinOnlyAddsSorts(t *testing.T) {
+	p := params()
+	r1 := rel(t, 1, "r1", 1000, 500, 40)
+	r2 := rel(t, 2, "r2", 800, 500, 40)
+	q := &Query{
+		Rels:  []QueryRel{{Rel: r1}, {Rel: r2}},
+		Joins: []JoinPred{{LRel: 0, LCol: 0, RRel: 1, RCol: 0}},
+	}
+	res, err := Optimize(q, p, Options{DisableHashJoin: true, DisableNestLoop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mj, ok := res.Plan.(*plan.MergeJoin)
+	if !ok {
+		t.Fatalf("plan = %T", res.Plan)
+	}
+	if _, ok := mj.Left.(*plan.Sort); !ok {
+		t.Fatal("left input not sorted")
+	}
+	if err := plan.Validate(res.Plan); err != nil {
+		t.Fatal(err)
+	}
+	// Fragment graph: 2 sort fragments + merge root.
+	if len(res.Graph.Fragments) != 3 {
+		t.Fatalf("fragments = %d", len(res.Graph.Fragments))
+	}
+}
+
+func TestDisconnectedGraphRejected(t *testing.T) {
+	p := params()
+	r1 := rel(t, 1, "r1", 100, 100, 20)
+	r2 := rel(t, 2, "r2", 100, 100, 20)
+	q := &Query{Rels: []QueryRel{{Rel: r1}, {Rel: r2}}} // no join preds
+	if _, err := Optimize(q, p, Options{}); err == nil {
+		t.Fatal("cross product accepted")
+	}
+}
+
+func TestTooManyRelations(t *testing.T) {
+	p := params()
+	var rels []QueryRel
+	r := rel(t, 1, "r", 10, 10, 10)
+	for i := 0; i < 17; i++ {
+		rels = append(rels, QueryRel{Rel: r})
+	}
+	if _, err := Optimize(&Query{Rels: rels}, p, Options{}); err == nil {
+		t.Fatal("17 relations accepted")
+	}
+}
+
+// chainQuery builds r0 ⋈ r1 ⋈ ... ⋈ r(k-1) on column a, with mixed
+// tuple sizes so fragments split between IO-bound and CPU-bound.
+func chainQuery(t *testing.T, k int, n int) *Query {
+	t.Helper()
+	q := &Query{}
+	for i := 0; i < k; i++ {
+		pad := 20
+		if i%2 == 1 {
+			pad = 2000 // bigger tuples -> IO-bound scans
+		}
+		q.Rels = append(q.Rels, QueryRel{Rel: rel(t, int32(i+1), string(rune('a'+i)), n, int32(n/4), pad)})
+		if i > 0 {
+			q.Joins = append(q.Joins, JoinPred{LRel: i - 1, LCol: 0, RRel: i, RCol: 0})
+		}
+	}
+	return q
+}
+
+func TestBushyBeatsLeftDeepOnParcost(t *testing.T) {
+	// §4's motivation: in a single-user environment the bushy/parcost
+	// optimizer should find plans at least as good (in parcost) as the
+	// left-deep/seqcost [HONG91] optimizer, typically strictly better on
+	// queries with mixed IO/CPU fragments.
+	p := params()
+	q := chainQuery(t, 4, 2000)
+	leftDeep, err := Optimize(q, p, Options{Cost: SeqCost, Shape: LeftDeep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bushy, err := Optimize(q, p, Options{Cost: ParCost, Shape: Bushy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bushy.ParCost > leftDeep.ParCost*1.001 {
+		t.Fatalf("bushy parcost %f > left-deep parcost %f", bushy.ParCost, leftDeep.ParCost)
+	}
+	if err := plan.Validate(bushy.Plan); err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(leftDeep.Plan); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeftDeepShapeIsRespected(t *testing.T) {
+	p := params()
+	q := chainQuery(t, 4, 500)
+	res, err := Optimize(q, p, Options{Cost: SeqCost, Shape: LeftDeep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every join's right input must be a leaf (scan or sort-of-scan or
+	// material-of-scan).
+	var check func(n plan.Node) bool
+	leafish := func(n plan.Node) bool {
+		switch x := n.(type) {
+		case *plan.SeqScan, *plan.IndexScan:
+			return true
+		case *plan.Sort:
+			_, ok := x.Child.(*plan.SeqScan)
+			_, ok2 := x.Child.(*plan.IndexScan)
+			return ok || ok2
+		case *plan.Material:
+			_, ok := x.Child.(*plan.SeqScan)
+			return ok
+		default:
+			return false
+		}
+	}
+	check = func(n plan.Node) bool {
+		switch x := n.(type) {
+		case *plan.HashJoin:
+			return check(x.Left) && leafish(x.Right)
+		case *plan.MergeJoin:
+			l := x.Left
+			if s, ok := l.(*plan.Sort); ok {
+				l = s.Child
+			}
+			return check(l) && leafish(x.Right)
+		case *plan.NestLoop:
+			return check(x.Outer) && leafish(x.Inner)
+		case *plan.Sort:
+			return check(x.Child)
+		default:
+			return leafish(n)
+		}
+	}
+	if !check(res.Plan) {
+		t.Fatalf("not left-deep:\n%s", plan.Explain(res.Plan))
+	}
+}
+
+func TestFiveWayJoinCompletes(t *testing.T) {
+	p := params()
+	q := chainQuery(t, 5, 400)
+	res, err := Optimize(q, p, Options{Cost: ParCost, Shape: Bushy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil || len(res.Graph.Fragments) == 0 {
+		t.Fatal("no plan")
+	}
+	// The output schema covers all five relations.
+	if res.Plan.OutSchema().Len() != 10 {
+		t.Fatalf("schema width = %d", res.Plan.OutSchema().Len())
+	}
+}
+
+func TestColOffset(t *testing.T) {
+	widths := []int{2, 2, 3}
+	if off, ok := colOffset([]int{2, 0}, widths, 0, 1); !ok || off != 4 {
+		t.Fatalf("colOffset = %d,%v", off, ok)
+	}
+	if _, ok := colOffset([]int{1}, widths, 0, 0); ok {
+		t.Fatal("missing relation found")
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	if popcount(0) != 0 || popcount(0b1011) != 3 || popcount(1<<15) != 1 {
+		t.Fatal("popcount")
+	}
+}
+
+func TestRelOrderMatchesSchema(t *testing.T) {
+	p := params()
+	q := chainQuery(t, 4, 500)
+	res, err := Optimize(q, p, Options{Cost: ParCost, Shape: Bushy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RelOrder) != 4 {
+		t.Fatalf("rel order = %v", res.RelOrder)
+	}
+	// The output schema width equals the sum of the ordered relations'
+	// widths, and each relation appears exactly once.
+	seen := map[int]bool{}
+	width := 0
+	for _, r := range res.RelOrder {
+		if seen[r] {
+			t.Fatalf("relation %d twice in %v", r, res.RelOrder)
+		}
+		seen[r] = true
+		width += q.Rels[r].Rel.Schema.Len()
+	}
+	if width != res.Plan.OutSchema().Len() {
+		t.Fatalf("ordered width %d != schema width %d", width, res.Plan.OutSchema().Len())
+	}
+}

@@ -1,0 +1,95 @@
+package opt
+
+import (
+	"fmt"
+
+	"xprs/internal/btree"
+	"xprs/internal/expr"
+	"xprs/internal/storage"
+)
+
+// QueryRel is one base relation of a query with its access options.
+type QueryRel struct {
+	// Rel is the base relation.
+	Rel *storage.Relation
+	// Filter is the single-table qualification (may be nil).
+	Filter expr.Expr
+	// Index, if non-nil, offers an index scan over [KeyLo, KeyHi] on the
+	// indexed column as an alternative access path.
+	Index        *btree.Index
+	KeyLo, KeyHi int32
+}
+
+// JoinPred is an equi-join predicate between two relations of the query,
+// identified by their positions in Query.Rels.
+type JoinPred struct {
+	LRel, LCol int
+	RRel, RCol int
+}
+
+// String implements fmt.Stringer.
+func (p JoinPred) String() string {
+	return fmt.Sprintf("r%d.$%d = r%d.$%d", p.LRel, p.LCol, p.RRel, p.RCol)
+}
+
+// Query is a join query: base relations plus equi-join predicates.
+type Query struct {
+	Rels  []QueryRel
+	Joins []JoinPred
+}
+
+// validate checks structural sanity.
+func (q *Query) validate() error {
+	if len(q.Rels) == 0 {
+		return fmt.Errorf("opt: query has no relations")
+	}
+	for i, r := range q.Rels {
+		if r.Rel == nil {
+			return fmt.Errorf("opt: relation %d is nil", i)
+		}
+		if r.Index != nil {
+			if r.Index.Rel != r.Rel {
+				return fmt.Errorf("opt: relation %d's index indexes %q", i, r.Index.Rel.Name)
+			}
+		}
+	}
+	for _, j := range q.Joins {
+		for _, rc := range [][2]int{{j.LRel, j.LCol}, {j.RRel, j.RCol}} {
+			rel, col := rc[0], rc[1]
+			if rel < 0 || rel >= len(q.Rels) {
+				return fmt.Errorf("opt: join predicate references relation %d", rel)
+			}
+			sch := q.Rels[rel].Rel.Schema
+			if col < 0 || col >= sch.Len() {
+				return fmt.Errorf("opt: join predicate references column %d of relation %d", col, rel)
+			}
+			if sch.Cols[col].Typ != storage.Int4 {
+				return fmt.Errorf("opt: join column %d of relation %d is not int4", col, rel)
+			}
+		}
+		if j.LRel == j.RRel {
+			return fmt.Errorf("opt: self-join predicate on relation %d (duplicate the relation instead)", j.LRel)
+		}
+	}
+	return nil
+}
+
+// predsBetween returns the join predicates connecting two disjoint
+// relation sets.
+func (q *Query) predsBetween(left, right []int) []JoinPred {
+	inLeft := make(map[int]bool, len(left))
+	for _, r := range left {
+		inLeft[r] = true
+	}
+	inRight := make(map[int]bool, len(right))
+	for _, r := range right {
+		inRight[r] = true
+	}
+	var out []JoinPred
+	for _, j := range q.Joins {
+		if (inLeft[j.LRel] && inRight[j.RRel]) || (inLeft[j.RRel] && inRight[j.LRel]) {
+			out = append(out, j)
+		}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"xprs/internal/storage"
+)
+
+// AggKind is an aggregate function.
+type AggKind int
+
+const (
+	// CountAll is COUNT(*).
+	CountAll AggKind = iota
+	// Sum is SUM(col) over an int4 column.
+	Sum
+	// Min is MIN(col) over an int4 column.
+	Min
+	// Max is MAX(col) over an int4 column.
+	Max
+)
+
+// String implements fmt.Stringer.
+func (k AggKind) String() string {
+	switch k {
+	case CountAll:
+		return "count(*)"
+	case Sum:
+		return "sum"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	default:
+		return fmt.Sprintf("AggKind(%d)", int(k))
+	}
+}
+
+// AggFunc is one aggregate of an Agg node.
+type AggFunc struct {
+	Kind AggKind
+	// Col is the input column for Sum/Min/Max; ignored for CountAll.
+	Col int
+}
+
+// Agg groups its input on GroupCol (-1 for a single global group) and
+// computes the aggregate functions per group. Like Sort, its output edge
+// is blocking: consumers wait for the full input. Aggregation
+// parallelizes naturally — each slave accumulates partial states over
+// its partition and the partials merge when the fragment finalizes.
+type Agg struct {
+	Child    Node
+	GroupCol int
+	Funcs    []AggFunc
+}
+
+// OutSchema implements Node: the group column (when grouping) followed
+// by one int4 column per aggregate.
+func (a *Agg) OutSchema() storage.Schema {
+	var cols []storage.Column
+	if a.GroupCol >= 0 {
+		in := a.Child.OutSchema()
+		cols = append(cols, in.Cols[a.GroupCol])
+	}
+	for _, f := range a.Funcs {
+		cols = append(cols, storage.Column{Name: aggColName(f), Typ: storage.Int4})
+	}
+	return storage.Schema{Cols: cols}
+}
+
+func aggColName(f AggFunc) string {
+	if f.Kind == CountAll {
+		return "count"
+	}
+	return fmt.Sprintf("%s_%d", f.Kind, f.Col)
+}
+
+// Children implements Node.
+func (a *Agg) Children() []Node { return []Node{a.Child} }
+
+// Label implements Node.
+func (a *Agg) Label() string {
+	var parts []string
+	for _, f := range a.Funcs {
+		if f.Kind == CountAll {
+			parts = append(parts, "count(*)")
+		} else {
+			parts = append(parts, fmt.Sprintf("%s($%d)", f.Kind, f.Col))
+		}
+	}
+	if a.GroupCol >= 0 {
+		return fmt.Sprintf("Agg %s group by $%d", strings.Join(parts, ", "), a.GroupCol)
+	}
+	return "Agg " + strings.Join(parts, ", ")
+}
+
+// validateAgg checks an Agg node's columns.
+func validateAgg(a *Agg) error {
+	in := a.Child.OutSchema()
+	if a.GroupCol >= in.Len() {
+		return fmt.Errorf("plan: Agg group column $%d out of range", a.GroupCol)
+	}
+	if a.GroupCol >= 0 && in.Cols[a.GroupCol].Typ != storage.Int4 {
+		return fmt.Errorf("plan: Agg group column $%d is not int4", a.GroupCol)
+	}
+	if len(a.Funcs) == 0 {
+		return fmt.Errorf("plan: Agg with no aggregate functions")
+	}
+	for _, f := range a.Funcs {
+		if f.Kind == CountAll {
+			continue
+		}
+		if f.Col < 0 || f.Col >= in.Len() {
+			return fmt.Errorf("plan: %v column $%d out of range", f.Kind, f.Col)
+		}
+		if in.Cols[f.Col].Typ != storage.Int4 {
+			return fmt.Errorf("plan: %v column $%d is not int4", f.Kind, f.Col)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+// Package sqlmini implements a small SQL front end for the XPRS engine:
+// SELECT queries over registered relations with equi-joins and simple
+// qualifications — enough to express every query in the paper's
+// experiments ("one-variable selection queries" and the §4 multi-way
+// joins) without hand-building plan trees.
+//
+// Grammar (case-insensitive keywords):
+//
+//	query  := SELECT '*' FROM table (',' table)*
+//	          (WHERE pred (AND pred)*)?
+//	table  := ident
+//	pred   := colref op value
+//	        | colref BETWEEN int AND int
+//	        | colref '=' colref          (join predicate)
+//	colref := ident '.' ident | ident
+//	op     := '=' | '<>' | '<' | '<=' | '>' | '>='
+//	value  := int | string
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex splits the input into tokens. Errors carry byte offsets.
+func lex(input string) ([]token, error) {
+	var out []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			out = append(out, token{kind: tokIdent, text: input[start:i], pos: start})
+		case unicode.IsDigit(rune(c)) || (c == '-' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			start := i
+			i++
+			for i < n && unicode.IsDigit(rune(input[i])) {
+				i++
+			}
+			out = append(out, token{kind: tokInt, text: input[start:i], pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqlmini: unterminated string at offset %d", start)
+			}
+			out = append(out, token{kind: tokString, text: sb.String(), pos: start})
+		case c == '<':
+			if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+				out = append(out, token{kind: tokSymbol, text: input[i : i+2], pos: i})
+				i += 2
+			} else {
+				out = append(out, token{kind: tokSymbol, text: "<", pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				out = append(out, token{kind: tokSymbol, text: ">=", pos: i})
+				i += 2
+			} else {
+				out = append(out, token{kind: tokSymbol, text: ">", pos: i})
+				i++
+			}
+		case c == '=' || c == ',' || c == '.' || c == '*' || c == '(' || c == ')' || c == ';':
+			out = append(out, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("sqlmini: unexpected character %q at offset %d", c, i)
+		}
+	}
+	out = append(out, token{kind: tokEOF, pos: n})
+	return out, nil
+}

@@ -1,0 +1,280 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+)
+
+// ColStats holds optimizer statistics for one column, computed when the
+// relation is finalized. Only int4 columns carry value statistics; text
+// columns carry the average width (the IO-rate knob of §3).
+type ColStats struct {
+	// Min and Max bound the column's values (int4 only).
+	Min, Max int32
+	// NDistinct approximates the number of distinct values.
+	NDistinct int64
+	// AvgWidth is the average on-page width of the column in bytes.
+	AvgWidth float64
+}
+
+// RelStats holds relation-level statistics used by the cost model.
+type RelStats struct {
+	NTuples int64
+	NPages  int64
+	// AvgTupleSize is the mean tuple payload size in bytes.
+	AvgTupleSize float64
+	Cols         []ColStats
+}
+
+// TuplesPerPage returns the average number of tuples on one page.
+func (s RelStats) TuplesPerPage() float64 {
+	if s.NPages == 0 {
+		return 0
+	}
+	return float64(s.NTuples) / float64(s.NPages)
+}
+
+// Generator produces row i of a synthetic relation. It must be a pure
+// function of i so that rescans and parallel scans see identical data.
+type Generator func(row int64) Tuple
+
+// Relation is a heap relation striped block-by-block across the disk
+// array. It is immutable once built (XPRS query-processing experiments
+// are read-only).
+type Relation struct {
+	ID     int32
+	Name   string
+	Schema Schema
+
+	// exactly one of the two storage forms is populated
+	phys [][]byte  // physical: one 8 KB image per page
+	gen  Generator // synthetic: deterministic row source
+	// synthetic layout
+	rowsPerPage int
+	nrows       int64
+
+	stats RelStats
+}
+
+// NPages returns the number of pages in the relation.
+func (r *Relation) NPages() int64 {
+	if r.gen != nil {
+		if r.nrows == 0 {
+			return 0
+		}
+		return (r.nrows + int64(r.rowsPerPage) - 1) / int64(r.rowsPerPage)
+	}
+	return int64(len(r.phys))
+}
+
+// NTuples returns the number of tuples in the relation.
+func (r *Relation) NTuples() int64 { return r.stats.NTuples }
+
+// Stats returns the relation's statistics.
+func (r *Relation) Stats() RelStats { return r.stats }
+
+// Synthetic reports whether the relation is generator-backed.
+func (r *Relation) Synthetic() bool { return r.gen != nil }
+
+// PageTuples decodes all tuples of page p. It performs no IO accounting;
+// callers go through Store.ReadPage to charge the disk model first.
+func (r *Relation) PageTuples(p int64) ([]Tuple, error) {
+	if p < 0 || p >= r.NPages() {
+		return nil, fmt.Errorf("storage: page %d out of range [0,%d) in %q", p, r.NPages(), r.Name)
+	}
+	if r.gen != nil {
+		lo := p * int64(r.rowsPerPage)
+		hi := lo + int64(r.rowsPerPage)
+		if hi > r.nrows {
+			hi = r.nrows
+		}
+		out := make([]Tuple, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			out = append(out, r.gen(i))
+		}
+		return out, nil
+	}
+	return decodePage(r.Schema, r.phys[p])
+}
+
+// TupleAt returns the tuple addressed by a TID.
+func (r *Relation) TupleAt(tid TID) (Tuple, error) {
+	if r.gen != nil {
+		row := tid.Page*int64(r.rowsPerPage) + int64(tid.Slot)
+		if tid.Slot < 0 || int(tid.Slot) >= r.rowsPerPage || row >= r.nrows {
+			return Tuple{}, fmt.Errorf("storage: TID %v out of range in %q", tid, r.Name)
+		}
+		return r.gen(row), nil
+	}
+	tuples, err := r.PageTuples(tid.Page)
+	if err != nil {
+		return Tuple{}, err
+	}
+	if tid.Slot < 0 || int(tid.Slot) >= len(tuples) {
+		return Tuple{}, fmt.Errorf("storage: slot %d out of range on page %d of %q", tid.Slot, tid.Page, r.Name)
+	}
+	return tuples[tid.Slot], nil
+}
+
+// Builder accumulates tuples into a physical relation.
+type Builder struct {
+	rel  *Relation
+	page *pageBuf
+	agg  statsAgg
+}
+
+// NewBuilder starts building a physical relation. The relation becomes
+// usable after Finalize.
+func NewBuilder(id int32, name string, schema Schema) *Builder {
+	return &Builder{
+		rel: &Relation{ID: id, Name: name, Schema: schema},
+		agg: newStatsAgg(schema),
+	}
+}
+
+// Append adds one tuple, starting a new page when the current one is full.
+func (b *Builder) Append(t Tuple) error {
+	enc, err := encodeTuple(b.rel.Schema, t)
+	if err != nil {
+		return err
+	}
+	if len(enc)+SlotOverhead+TupleHeader > PageCapacity {
+		return fmt.Errorf("storage: tuple of %d bytes exceeds page capacity", len(enc))
+	}
+	if b.page == nil || !b.page.fits(len(enc)) {
+		b.flush()
+		b.page = newPageBuf()
+	}
+	b.page.add(enc)
+	b.agg.observe(t, len(enc))
+	return nil
+}
+
+func (b *Builder) flush() {
+	if b.page != nil && b.page.count() > 0 {
+		b.rel.phys = append(b.rel.phys, b.page.data)
+		b.page = nil
+	}
+}
+
+// Finalize seals the relation and computes its statistics.
+func (b *Builder) Finalize() *Relation {
+	b.flush()
+	b.rel.stats = b.agg.finish(int64(len(b.rel.phys)))
+	return b.rel
+}
+
+// NewSynthetic creates a generator-backed relation. rowsPerPage fixes the
+// page layout; gen(i) must be pure. Statistics are computed by sampling
+// the generator, plus exact bounds supplied by the caller through the
+// returned relation's stats (computed over a full pass if ntuples is
+// small, otherwise over a deterministic sample).
+func NewSynthetic(id int32, name string, schema Schema, ntuples int64, rowsPerPage int, gen Generator) (*Relation, error) {
+	if rowsPerPage <= 0 {
+		return nil, fmt.Errorf("storage: rowsPerPage = %d, need > 0", rowsPerPage)
+	}
+	if ntuples < 0 {
+		return nil, fmt.Errorf("storage: ntuples = %d, need >= 0", ntuples)
+	}
+	r := &Relation{ID: id, Name: name, Schema: schema, gen: gen, rowsPerPage: rowsPerPage, nrows: ntuples}
+	agg := newStatsAgg(schema)
+	// Sample at most 4096 rows, stride-spaced, to estimate stats.
+	const maxSample = 4096
+	step := int64(1)
+	if ntuples > maxSample {
+		step = ntuples / maxSample
+	}
+	sampled := int64(0)
+	for i := int64(0); i < ntuples; i += step {
+		t := gen(i)
+		enc, err := encodeTuple(schema, t)
+		if err != nil {
+			return nil, fmt.Errorf("storage: synthetic row %d: %w", i, err)
+		}
+		agg.observe(t, len(enc))
+		sampled++
+	}
+	st := agg.finish(r.NPages())
+	// Scale sampled counts back to the full relation.
+	if sampled > 0 && ntuples != sampled {
+		scale := float64(ntuples) / float64(sampled)
+		st.NTuples = ntuples
+		for i := range st.Cols {
+			est := int64(float64(st.Cols[i].NDistinct) * scale)
+			if est > ntuples {
+				est = ntuples
+			}
+			if st.Cols[i].NDistinct > 0 && est < st.Cols[i].NDistinct {
+				est = st.Cols[i].NDistinct
+			}
+			st.Cols[i].NDistinct = est
+		}
+	}
+	r.stats = st
+	return r, nil
+}
+
+// statsAgg accumulates column statistics during a build.
+type statsAgg struct {
+	schema    Schema
+	n         int64
+	sizeSum   int64
+	mins      []int32
+	maxs      []int32
+	distincts []map[int32]struct{}
+	widthSums []float64
+}
+
+func newStatsAgg(s Schema) statsAgg {
+	a := statsAgg{
+		schema:    s,
+		mins:      make([]int32, s.Len()),
+		maxs:      make([]int32, s.Len()),
+		distincts: make([]map[int32]struct{}, s.Len()),
+		widthSums: make([]float64, s.Len()),
+	}
+	for i := range a.mins {
+		a.mins[i] = math.MaxInt32
+		a.maxs[i] = math.MinInt32
+		a.distincts[i] = make(map[int32]struct{})
+	}
+	return a
+}
+
+func (a *statsAgg) observe(t Tuple, encSize int) {
+	a.n++
+	a.sizeSum += int64(encSize)
+	for i, v := range t.Vals {
+		a.widthSums[i] += float64(v.Size())
+		if v.Typ == Int4 {
+			if v.Int < a.mins[i] {
+				a.mins[i] = v.Int
+			}
+			if v.Int > a.maxs[i] {
+				a.maxs[i] = v.Int
+			}
+			// Cap the exact-distinct tracking to bound memory.
+			if len(a.distincts[i]) < 1<<16 {
+				a.distincts[i][v.Int] = struct{}{}
+			}
+		}
+	}
+}
+
+func (a *statsAgg) finish(npages int64) RelStats {
+	st := RelStats{NTuples: a.n, NPages: npages, Cols: make([]ColStats, a.schema.Len())}
+	if a.n > 0 {
+		st.AvgTupleSize = float64(a.sizeSum) / float64(a.n)
+	}
+	for i := range st.Cols {
+		cs := &st.Cols[i]
+		if a.n > 0 {
+			cs.AvgWidth = a.widthSums[i] / float64(a.n)
+		}
+		if a.schema.Cols[i].Typ == Int4 && a.n > 0 {
+			cs.Min, cs.Max = a.mins[i], a.maxs[i]
+			cs.NDistinct = int64(len(a.distincts[i]))
+		}
+	}
+	return st
+}

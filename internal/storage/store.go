@@ -1,0 +1,201 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+
+	"xprs/internal/diskmodel"
+	"xprs/internal/vclock"
+)
+
+// BufferPool tracks page residency with LRU replacement. Page contents
+// always live in the Relation (this is a simulation of IO, not of memory
+// pressure on data); the pool decides whether a read is charged to the
+// disk model. A zero-capacity pool disables caching, which is how the
+// §3 experiments run so that every scan pays its IO.
+type BufferPool struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // front = most recent; values are pageKey
+	pages    map[pageKey]*list.Element
+
+	hits, misses int64
+}
+
+type pageKey struct {
+	rel  int32
+	page int64
+}
+
+// NewBufferPool creates a pool holding up to capacity pages.
+func NewBufferPool(capacity int) *BufferPool {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &BufferPool{
+		capacity: capacity,
+		lru:      list.New(),
+		pages:    make(map[pageKey]*list.Element),
+	}
+}
+
+// touch records an access; it returns true on a hit.
+func (bp *BufferPool) touch(k pageKey) bool {
+	if bp.capacity == 0 {
+		bp.mu.Lock()
+		bp.misses++
+		bp.mu.Unlock()
+		return false
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if el, ok := bp.pages[k]; ok {
+		bp.lru.MoveToFront(el)
+		bp.hits++
+		return true
+	}
+	bp.misses++
+	el := bp.lru.PushFront(k)
+	bp.pages[k] = el
+	for bp.lru.Len() > bp.capacity {
+		old := bp.lru.Back()
+		bp.lru.Remove(old)
+		delete(bp.pages, old.Value.(pageKey))
+	}
+	return false
+}
+
+// Stats returns hit and miss counts.
+func (bp *BufferPool) Stats() (hits, misses int64) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.hits, bp.misses
+}
+
+// Invalidate drops all cached residency (e.g. between experiments).
+func (bp *BufferPool) Invalidate() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.lru.Init()
+	bp.pages = make(map[pageKey]*list.Element)
+}
+
+// Store is the shared storage manager: the catalog of relations plus the
+// clock, disk array and buffer pool every reader goes through.
+type Store struct {
+	Clock vclock.Clock
+	Disks *diskmodel.Array
+	Pool  *BufferPool
+
+	mu     sync.Mutex
+	byName map[string]*Relation
+	byID   map[int32]*Relation
+	nextID int32
+}
+
+// NewStore creates a store on the given clock and disk array. poolPages
+// sets the buffer pool capacity (0 disables caching).
+func NewStore(clock vclock.Clock, disks *diskmodel.Array, poolPages int) *Store {
+	return &Store{
+		Clock:  clock,
+		Disks:  disks,
+		Pool:   NewBufferPool(poolPages),
+		byName: make(map[string]*Relation),
+		byID:   make(map[int32]*Relation),
+		nextID: 1,
+	}
+}
+
+// NextID reserves a relation ID for an externally built relation.
+func (s *Store) NextID() int32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextID
+	s.nextID++
+	return id
+}
+
+// Add registers a finished relation. Names must be unique.
+func (s *Store) Add(r *Relation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byName[r.Name]; dup {
+		return fmt.Errorf("storage: relation %q already exists", r.Name)
+	}
+	if _, dup := s.byID[r.ID]; dup {
+		return fmt.Errorf("storage: relation ID %d already exists", r.ID)
+	}
+	s.byName[r.Name] = r
+	s.byID[r.ID] = r
+	return nil
+}
+
+// Relation looks a relation up by name.
+func (s *Store) Relation(name string) (*Relation, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.byName[name]
+	return r, ok
+}
+
+// RelationByID looks a relation up by ID.
+func (s *Store) RelationByID(id int32) (*Relation, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.byID[id]
+	return r, ok
+}
+
+// Relations returns all registered relations (unordered).
+func (s *Store) Relations() []*Relation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Relation, 0, len(s.byName))
+	for _, r := range s.byName {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Drop removes a relation (used for temporaries holding fragment results).
+func (s *Store) Drop(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.byName[name]; ok {
+		delete(s.byName, name)
+		delete(s.byID, r.ID)
+	}
+}
+
+// EnqueuePage reserves the IO for page p of rel (unless the buffer pool
+// holds it) and returns the virtual instant the page is available,
+// without blocking. Sequential scans use it to model OS readahead;
+// parallel marks multi-slave scans, whose de-ordered request streams see
+// at most almost-sequential disk service (§3).
+func (s *Store) EnqueuePage(rel *Relation, p int64, parallel bool) time.Duration {
+	if s.Pool.touch(pageKey{rel: rel.ID, page: p}) {
+		return s.Clock.Now()
+	}
+	return s.Disks.Enqueue(rel.ID, p, parallel)
+}
+
+// ReadPage charges the IO for page p of rel (unless the buffer pool holds
+// it), blocks until it is served, and returns the page's tuples. This is
+// the single-stream path (inner rescans, utilities); parallel scans go
+// through EnqueuePage.
+func (s *Store) ReadPage(rel *Relation, p int64) ([]Tuple, error) {
+	s.Clock.SleepUntil(s.EnqueuePage(rel, p, false))
+	return rel.PageTuples(p)
+}
+
+// ReadTID charges the IO for the page holding tid and returns the tuple.
+// Unclustered index scans use this: one (usually random) page read per
+// qualifying tuple, which is why such scans are IO-bound (§3).
+func (s *Store) ReadTID(rel *Relation, tid TID) (Tuple, error) {
+	if !s.Pool.touch(pageKey{rel: rel.ID, page: tid.Page}) {
+		s.Disks.Read(rel.ID, tid.Page)
+	}
+	return rel.TupleAt(tid)
+}

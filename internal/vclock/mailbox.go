@@ -1,0 +1,74 @@
+package vclock
+
+import "sync"
+
+// Mailbox is a many-producer, single-consumer event queue whose blocking
+// is accounted to the clock. The engine's master backend waits on one
+// mailbox for slave-completion and arrival events; slave backends post
+// without blocking. Signal channels are single-use internally, so the
+// mailbox can be waited on any number of times.
+type Mailbox struct {
+	clock Clock
+	mu    sync.Mutex
+	queue []interface{}
+	wake  chan struct{} // non-nil while the consumer is blocked
+}
+
+// NewMailbox creates a mailbox on the given clock.
+func NewMailbox(clock Clock) *Mailbox {
+	return &Mailbox{clock: clock}
+}
+
+// Post appends an event and wakes the consumer if it is waiting.
+func (m *Mailbox) Post(ev interface{}) {
+	m.mu.Lock()
+	m.queue = append(m.queue, ev)
+	ch := m.wake
+	m.wake = nil
+	m.mu.Unlock()
+	if ch != nil {
+		m.clock.Signal(ch)
+	}
+}
+
+// Wait blocks until an event is available and returns the oldest one.
+// Only one goroutine may consume from a mailbox.
+func (m *Mailbox) Wait() interface{} {
+	for {
+		m.mu.Lock()
+		if len(m.queue) > 0 {
+			ev := m.queue[0]
+			m.queue = m.queue[1:]
+			m.mu.Unlock()
+			return ev
+		}
+		if m.wake != nil {
+			m.mu.Unlock()
+			panic("vclock: second consumer on mailbox")
+		}
+		ch := make(chan struct{})
+		m.wake = ch
+		m.mu.Unlock()
+		m.clock.WaitSignal(ch)
+	}
+}
+
+// TryWait returns the oldest event without blocking; ok is false when
+// the mailbox is empty.
+func (m *Mailbox) TryWait() (interface{}, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.queue) == 0 {
+		return nil, false
+	}
+	ev := m.queue[0]
+	m.queue = m.queue[1:]
+	return ev, true
+}
+
+// Len returns the number of queued events.
+func (m *Mailbox) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}

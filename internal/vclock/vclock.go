@@ -1,0 +1,311 @@
+// Package vclock provides the time substrate for the XPRS reproduction.
+//
+// The original XPRS experiments ran on a Sequent Symmetry multiprocessor
+// with a physical disk array; elapsed times were wall-clock measurements.
+// This reproduction replaces wall-clock time with a virtual clock so that
+// the same master/slave goroutine structure runs deterministically and at
+// full speed on any machine: goroutines do their real work (reading pages,
+// evaluating qualifications, building hash tables) but every unit of CPU
+// and disk service is charged to the virtual clock instead of being
+// slept through.
+//
+// The virtual clock follows the classic conservative rule for virtual-time
+// execution with real goroutines: every goroutine participating in the
+// simulation is registered with the clock, every blocking operation goes
+// through the clock, and the clock advances to the earliest pending timer
+// only when every registered goroutine is blocked. Because the clock wakes
+// exactly one sleeper per advance, at most one registered goroutine is
+// runnable at any moment, which makes runs reproducible: ties between
+// timers are broken by registration order.
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is the time source used throughout the engine. Two implementations
+// exist: *Virtual (deterministic simulated time, used by all experiments)
+// and *Real (wall-clock time, used by interactive examples).
+type Clock interface {
+	// Now returns the time elapsed since the clock started.
+	Now() time.Duration
+	// Sleep suspends the calling goroutine for d of virtual (or real) time.
+	// Non-positive durations still yield to the scheduler.
+	Sleep(d time.Duration)
+	// SleepUntil suspends the caller until the given instant (measured on
+	// the clock's own Now scale); past instants return immediately.
+	SleepUntil(t time.Duration)
+	// Go starts fn on a new goroutine registered with the clock. The child
+	// is registered before Go returns, so the clock cannot advance past the
+	// spawn instant before the child has run.
+	Go(fn func())
+	// YieldOrdered parks the caller until the next clock advance,
+	// ordering simultaneous parkers by key rather than by arrival. Fresh
+	// or newly-resumed goroutines call it (with a stable identity) before
+	// their first side effect so concurrent wake-ups do not race on
+	// shared state; on a real clock it is a no-op.
+	YieldOrdered(key int64)
+	// WaitSignal blocks the caller until Signal is called with the same
+	// channel. Each channel carries at most one waiter and one signal.
+	WaitSignal(ch chan struct{})
+	// Signal wakes the goroutine blocked in WaitSignal(ch), or records the
+	// signal if no goroutine is waiting yet.
+	Signal(ch chan struct{})
+}
+
+// timer is one pending wake-up in the virtual clock's heap.
+type timer struct {
+	wake time.Duration
+	key  int64  // stable-identity tie-break (0 for plain sleeps)
+	seq  uint64 // FIFO tie-break for equal wake times and keys
+	ch   chan struct{}
+}
+
+type timerHeap []timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].wake != h[j].wake {
+		return h[i].wake < h[j].wake
+	}
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(timer)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Virtual is a deterministic simulated clock. The zero value is not usable;
+// construct with NewVirtual and drive the simulation through Run.
+type Virtual struct {
+	mu         sync.Mutex
+	now        time.Duration
+	registered int
+	blocked    int
+	timers     timerHeap
+	seq        uint64
+	waiters    map[chan struct{}]struct{}
+	signaled   map[chan struct{}]struct{}
+}
+
+// NewVirtual returns a virtual clock positioned at time zero with no
+// registered goroutines.
+func NewVirtual() *Virtual {
+	return &Virtual{
+		waiters:  make(map[chan struct{}]struct{}),
+		signaled: make(map[chan struct{}]struct{}),
+	}
+}
+
+// Now reports the current virtual time.
+func (v *Virtual) Now() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Run registers the calling goroutine, executes fn, and unregisters. It is
+// the entry point for the root goroutine of a simulation; all other
+// goroutines must be created with Go.
+func (v *Virtual) Run(fn func()) {
+	v.mu.Lock()
+	v.registered++
+	v.mu.Unlock()
+	defer v.unregister()
+	fn()
+}
+
+// Go starts fn on a new registered goroutine.
+func (v *Virtual) Go(fn func()) {
+	v.mu.Lock()
+	v.registered++
+	v.mu.Unlock()
+	go func() {
+		defer v.unregister()
+		fn()
+	}()
+}
+
+func (v *Virtual) unregister() {
+	v.mu.Lock()
+	v.registered--
+	if v.registered < 0 {
+		v.mu.Unlock()
+		panic("vclock: unregister without matching register")
+	}
+	v.advanceLocked()
+	v.mu.Unlock()
+}
+
+// Sleep suspends the caller for d of virtual time. A non-positive d still
+// enqueues a timer at the current instant, which yields the processor to
+// any other goroutine with an earlier or equal pending timer.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ch := make(chan struct{})
+	v.mu.Lock()
+	v.seq++
+	heap.Push(&v.timers, timer{wake: v.now + d, seq: v.seq, ch: ch})
+	v.blocked++
+	v.advanceLocked()
+	v.mu.Unlock()
+	<-ch
+}
+
+// YieldOrdered parks the caller at the current instant with a stable
+// tie-break key, so a batch of simultaneously released goroutines
+// resumes in key order regardless of OS scheduling.
+func (v *Virtual) YieldOrdered(key int64) {
+	ch := make(chan struct{})
+	v.mu.Lock()
+	v.seq++
+	heap.Push(&v.timers, timer{wake: v.now, key: key, seq: v.seq, ch: ch})
+	v.blocked++
+	v.advanceLocked()
+	v.mu.Unlock()
+	<-ch
+}
+
+// SleepUntil suspends the caller until the given virtual instant. If t is
+// in the past it behaves like Sleep(0).
+func (v *Virtual) SleepUntil(t time.Duration) {
+	ch := make(chan struct{})
+	v.mu.Lock()
+	wake := t
+	if wake < v.now {
+		wake = v.now
+	}
+	v.seq++
+	heap.Push(&v.timers, timer{wake: wake, seq: v.seq, ch: ch})
+	v.blocked++
+	v.advanceLocked()
+	v.mu.Unlock()
+	<-ch
+}
+
+// WaitSignal blocks until Signal(ch). The blocked state is accounted to the
+// clock, so waiting does not stall virtual time. A channel may carry at
+// most one waiter.
+func (v *Virtual) WaitSignal(ch chan struct{}) {
+	v.mu.Lock()
+	if _, ok := v.signaled[ch]; ok {
+		delete(v.signaled, ch)
+		v.mu.Unlock()
+		return
+	}
+	if _, dup := v.waiters[ch]; dup {
+		v.mu.Unlock()
+		panic("vclock: second waiter on the same signal channel")
+	}
+	v.waiters[ch] = struct{}{}
+	v.blocked++
+	v.advanceLocked()
+	v.mu.Unlock()
+	<-ch
+}
+
+// Signal wakes the waiter blocked on ch, transferring its runnability
+// atomically so the clock cannot advance past the signalling instant
+// before the waiter resumes. If no waiter is present the signal is latched.
+func (v *Virtual) Signal(ch chan struct{}) {
+	v.mu.Lock()
+	if _, ok := v.waiters[ch]; ok {
+		delete(v.waiters, ch)
+		v.blocked--
+		close(ch)
+		v.mu.Unlock()
+		return
+	}
+	v.signaled[ch] = struct{}{}
+	v.mu.Unlock()
+}
+
+// advanceLocked wakes the earliest timer when every registered goroutine is
+// blocked. Exactly one sleeper is released per advance; it runs alone until
+// it blocks again, which keeps execution deterministic.
+func (v *Virtual) advanceLocked() {
+	if v.registered == 0 || v.blocked != v.registered {
+		return
+	}
+	if len(v.timers) == 0 {
+		// Release the lock before panicking: deferred unregister calls
+		// running during the unwind must be able to take it.
+		msg := fmt.Sprintf(
+			"vclock: deadlock at %v: all %d goroutines blocked with no pending timers (%d signal waiters)",
+			v.now, v.registered, len(v.waiters))
+		v.mu.Unlock()
+		panic(msg)
+	}
+	t := heap.Pop(&v.timers).(timer)
+	if t.wake > v.now {
+		v.now = t.wake
+	}
+	v.blocked--
+	close(t.ch)
+}
+
+// Real is a Clock backed by the wall clock, for interactive use. Durations
+// passed to Sleep may be scaled down so examples finish quickly.
+type Real struct {
+	start time.Time
+	// Scale divides every Sleep duration; zero means 1 (no scaling).
+	Scale int64
+}
+
+// NewReal returns a wall-clock Clock whose Now starts at zero. scale
+// divides every sleep; pass 1 for unscaled time or e.g. 1000 to run a
+// simulated second in a millisecond.
+func NewReal(scale int64) *Real {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Real{start: time.Now(), Scale: scale}
+}
+
+// Now reports wall time elapsed since the clock was created, multiplied
+// back up by the scale factor so that Now and Sleep agree.
+func (r *Real) Now() time.Duration { return time.Since(r.start) * time.Duration(r.Scale) }
+
+// Sleep sleeps for d divided by the scale factor.
+func (r *Real) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(d / time.Duration(r.Scale))
+}
+
+// SleepUntil sleeps until the scaled instant t.
+func (r *Real) SleepUntil(t time.Duration) {
+	r.Sleep(t - r.Now())
+}
+
+// Go runs fn on a plain goroutine.
+func (r *Real) Go(fn func()) { go fn() }
+
+// YieldOrdered is a no-op on a real clock.
+func (r *Real) YieldOrdered(int64) {}
+
+// WaitSignal blocks on the channel.
+func (r *Real) WaitSignal(ch chan struct{}) { <-ch }
+
+// Signal closes the channel, waking the waiter. Signalling before the
+// waiter arrives is allowed (close is observed on a later receive).
+func (r *Real) Signal(ch chan struct{}) { close(ch) }
+
+var (
+	_ Clock = (*Virtual)(nil)
+	_ Clock = (*Real)(nil)
+)

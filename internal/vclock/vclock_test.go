@@ -1,0 +1,225 @@
+package vclock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestVirtualSleepAdvances(t *testing.T) {
+	v := NewVirtual()
+	v.Run(func() {
+		if got := v.Now(); got != 0 {
+			t.Fatalf("initial Now = %v, want 0", got)
+		}
+		v.Sleep(5 * time.Second)
+		if got := v.Now(); got != 5*time.Second {
+			t.Fatalf("after Sleep(5s) Now = %v", got)
+		}
+		v.Sleep(0)
+		if got := v.Now(); got != 5*time.Second {
+			t.Fatalf("Sleep(0) moved time to %v", got)
+		}
+		v.Sleep(-3 * time.Second)
+		if got := v.Now(); got != 5*time.Second {
+			t.Fatalf("negative Sleep moved time to %v", got)
+		}
+	})
+}
+
+func TestVirtualSleepUntil(t *testing.T) {
+	v := NewVirtual()
+	v.Run(func() {
+		v.SleepUntil(3 * time.Second)
+		if got := v.Now(); got != 3*time.Second {
+			t.Fatalf("SleepUntil(3s): Now = %v", got)
+		}
+		// Past deadlines do not move time backwards.
+		v.SleepUntil(1 * time.Second)
+		if got := v.Now(); got != 3*time.Second {
+			t.Fatalf("SleepUntil(past): Now = %v", got)
+		}
+	})
+}
+
+func TestVirtualConcurrentSleepersOrdered(t *testing.T) {
+	v := NewVirtual()
+	var order []int
+	v.Run(func() {
+		done := make([]chan struct{}, 3)
+		delays := []time.Duration{30 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond}
+		for i := range done {
+			done[i] = make(chan struct{})
+			i := i
+			v.Go(func() {
+				v.Sleep(delays[i])
+				order = append(order, i)
+				v.Signal(done[i])
+			})
+		}
+		for i := range done {
+			v.WaitSignal(done[i])
+		}
+	})
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("wake order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestVirtualEqualTimersFIFO(t *testing.T) {
+	// Timers with identical wake times fire in creation order. Freshly
+	// spawned goroutines park with YieldOrdered first so their Sleep
+	// calls are issued in a deterministic order (the same discipline the
+	// executor's slave backends follow).
+	v := NewVirtual()
+	var order []int
+	v.Run(func() {
+		done := make(chan struct{})
+		var remaining atomic.Int32
+		const n = 8
+		remaining.Store(n)
+		for i := 0; i < n; i++ {
+			i := i
+			v.Go(func() {
+				v.YieldOrdered(int64(i))
+				v.Sleep(time.Second) // all wake at t=1s
+				order = append(order, i)
+				if remaining.Add(-1) == 0 {
+					v.Signal(done)
+				}
+			})
+		}
+		v.WaitSignal(done)
+	})
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("equal-timer wake order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestVirtualSignalBeforeWait(t *testing.T) {
+	v := NewVirtual()
+	v.Run(func() {
+		ch := make(chan struct{})
+		v.Signal(ch)
+		v.WaitSignal(ch) // must not block or consume virtual time
+		if got := v.Now(); got != 0 {
+			t.Fatalf("Now = %v after pre-latched signal", got)
+		}
+	})
+}
+
+func TestVirtualWaitSignalDoesNotStallTime(t *testing.T) {
+	v := NewVirtual()
+	var workerDone time.Duration
+	v.Run(func() {
+		ch := make(chan struct{})
+		v.Go(func() {
+			v.Sleep(7 * time.Second)
+			workerDone = v.Now()
+			v.Signal(ch)
+		})
+		v.WaitSignal(ch)
+		if workerDone != 7*time.Second {
+			t.Fatalf("worker finished at %v, want 7s", workerDone)
+		}
+		if got := v.Now(); got != 7*time.Second {
+			t.Fatalf("master resumed at %v, want 7s", got)
+		}
+	})
+}
+
+func TestVirtualNestedSpawn(t *testing.T) {
+	v := NewVirtual()
+	var leafTime time.Duration
+	v.Run(func() {
+		outer := make(chan struct{})
+		v.Go(func() {
+			v.Sleep(time.Second)
+			inner := make(chan struct{})
+			v.Go(func() {
+				v.Sleep(2 * time.Second)
+				leafTime = v.Now()
+				v.Signal(inner)
+			})
+			v.WaitSignal(inner)
+			v.Signal(outer)
+		})
+		v.WaitSignal(outer)
+	})
+	if leafTime != 3*time.Second {
+		t.Fatalf("leaf finished at %v, want 3s", leafTime)
+	}
+}
+
+func TestVirtualDeadlockPanics(t *testing.T) {
+	v := NewVirtual()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected deadlock panic")
+		}
+	}()
+	v.Run(func() {
+		v.WaitSignal(make(chan struct{})) // nobody will ever signal
+	})
+}
+
+func TestVirtualDeterministicElapsed(t *testing.T) {
+	run := func() time.Duration {
+		v := NewVirtual()
+		var elapsed time.Duration
+		v.Run(func() {
+			done := make(chan struct{})
+			var remaining atomic.Int32
+			const n = 5
+			remaining.Store(n)
+			for i := 0; i < n; i++ {
+				i := i
+				v.Go(func() {
+					for k := 0; k < 50; k++ {
+						v.Sleep(time.Duration(i+1) * time.Millisecond)
+					}
+					if remaining.Add(-1) == 0 {
+						v.Signal(done)
+					}
+				})
+			}
+			v.WaitSignal(done)
+			elapsed = v.Now()
+		})
+		return elapsed
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d elapsed %v, first run %v", i, got, first)
+		}
+	}
+	if first != 250*time.Millisecond {
+		t.Fatalf("elapsed = %v, want 250ms (slowest worker)", first)
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	r := NewReal(1000) // 1000x speedup
+	r.Sleep(100 * time.Millisecond)
+	if got := r.Now(); got < 50*time.Millisecond {
+		t.Fatalf("scaled Now = %v, want >= 50ms of virtual time", got)
+	}
+	ch := make(chan struct{})
+	go func() { r.Signal(ch) }()
+	r.WaitSignal(ch)
+}
+
+func TestRealClockZeroScale(t *testing.T) {
+	r := NewReal(0)
+	if r.Scale != 1 {
+		t.Fatalf("scale = %d, want 1", r.Scale)
+	}
+	r.Sleep(0)
+	r.Sleep(-time.Second)
+}

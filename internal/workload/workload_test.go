@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"testing"
+
+	"xprs/internal/cost"
+	"xprs/internal/diskmodel"
+	"xprs/internal/storage"
+	"xprs/internal/vclock"
+)
+
+func fixture() (*storage.Store, cost.Params) {
+	v := vclock.NewVirtual()
+	disks := diskmodel.New(v, diskmodel.DefaultConfig())
+	return storage.NewStore(v, disks, 0), cost.DefaultParams(diskmodel.DefaultConfig(), 8)
+}
+
+func TestTaskTypeRanges(t *testing.T) {
+	cases := []struct {
+		tt     TaskType
+		lo, hi float64
+	}{
+		{CPUBound, 5, 30}, {IOBound, 30, 60}, {ExtremeCPUBound, 5, 15}, {ExtremeIOBound, 60, 70},
+	}
+	for _, c := range cases {
+		lo, hi := c.tt.RateRange()
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("%v range = [%f,%f], want [%f,%f]", c.tt, lo, hi, c.lo, c.hi)
+		}
+		if c.tt.String() == "" {
+			t.Error("empty type string")
+		}
+	}
+	if TaskType(99).String() == "" || Kind(99).String() == "" {
+		t.Error("unknown stringers")
+	}
+	if len(Kinds()) != 4 {
+		t.Error("kinds")
+	}
+}
+
+func TestGenerateShapesAndRates(t *testing.T) {
+	st, p := fixture()
+	for _, k := range Kinds() {
+		specs, infos, err := Generate(st, p, k, 42, k.String(), int(k)*100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(specs) != WorkloadSize || len(infos) != WorkloadSize {
+			t.Fatalf("%v: %d specs, %d infos", k, len(specs), len(infos))
+		}
+		for i, info := range infos {
+			lo, hi := info.Type.RateRange()
+			if info.TargetRate < lo || info.TargetRate > hi {
+				t.Errorf("%v task %d target rate %f outside [%f,%f]", k, i, info.TargetRate, lo, hi)
+			}
+			// The built relation's modeled rate tracks the target within
+			// the quantization error of integer tuple sizes.
+			if rel := info.ModelRate; rel < info.TargetRate*0.80-1 || rel > info.TargetRate*1.20+1 {
+				t.Errorf("%v task %d model rate %f vs target %f", k, i, rel, info.TargetRate)
+			}
+			if info.Tuples < 100 {
+				t.Errorf("task length %d below the 100-tuple floor", info.Tuples)
+			}
+			// Task classification must match the spec the scheduler sees.
+			spec := specs[i]
+			rate := spec.Task.D / spec.Task.T
+			switch info.Type {
+			case IOBound, ExtremeIOBound:
+				if rate <= 30 {
+					t.Errorf("%v task %d: spec rate %f not IO-bound", k, i, rate)
+				}
+			default:
+				if rate > 30.5 {
+					t.Errorf("%v task %d: spec rate %f not CPU-bound", k, i, rate)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	st1, p := fixture()
+	st2, _ := fixture()
+	_, infos1, err := Generate(st1, p, RandomMix, 7, "a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, infos2, err := Generate(st2, p, RandomMix, 7, "a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range infos1 {
+		if infos1[i] != infos2[i] {
+			t.Fatalf("task %d differs across same-seed runs", i)
+		}
+	}
+	_, infos3, err := Generate(st2, p, RandomMix, 8, "b", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range infos1 {
+		if infos1[i].TargetRate != infos3[i].TargetRate {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestExtremeAlternates(t *testing.T) {
+	st, p := fixture()
+	_, infos, err := Generate(st, p, Extreme, 1, "x", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, info := range infos {
+		want := ExtremeIOBound
+		if i%2 == 1 {
+			want = ExtremeCPUBound
+		}
+		if info.Type != want {
+			t.Fatalf("task %d type %v, want %v", i, info.Type, want)
+		}
+	}
+}
+
+func TestBuildScanRelationEndpoints(t *testing.T) {
+	st, p := fixture()
+	rmin, err := BuildScanRelation(st, p, "rmin", 5, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rmin.Stats().AvgTupleSize; got != 8 {
+		t.Fatalf("rmin tuple size = %f, want 8", got)
+	}
+	rmax, err := BuildScanRelation(st, p, "rmax", 70, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One tuple per page.
+	if rmax.NPages() != 100 {
+		t.Fatalf("rmax pages = %d, want 100", rmax.NPages())
+	}
+	// Duplicate name rejected.
+	if _, err := BuildScanRelation(st, p, "rmin", 5, 10); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestBuildChainJoin(t *testing.T) {
+	st, p := fixture()
+	q, err := BuildChainJoin(st, p, "c", 4, 1000, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Rels) != 4 || len(q.Joins) != 3 {
+		t.Fatalf("chain shape: %d rels, %d joins", len(q.Rels), len(q.Joins))
+	}
+	// Alternating IO profiles.
+	small := q.Rels[0].Stats().AvgTupleSize
+	big := q.Rels[1].Stats().AvgTupleSize
+	if small >= big {
+		t.Fatalf("tuple sizes %f, %f should alternate", small, big)
+	}
+	if _, err := BuildChainJoin(st, p, "d", 1, 10, 10, 0); err == nil {
+		t.Fatal("1-relation chain accepted")
+	}
+	if _, err := BuildChainJoin(st, p, "e", 2, 10, 0, 0); err == nil {
+		t.Fatal("0 distinct accepted")
+	}
+}
+
+func TestGeneratePaperTuplesBounds(t *testing.T) {
+	st, p := fixture()
+	_, infos, err := GenerateWith(st, p, RandomMix, 9, "pt", 0, PaperTuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, info := range infos {
+		if info.Tuples < 100 || info.Tuples > 10000 {
+			t.Errorf("task %d length %d outside the paper's [100,10000]", i, info.Tuples)
+		}
+	}
+	if WorkBalanced.String() == "" || PaperTuples.String() == "" {
+		t.Fatal("length model strings")
+	}
+}
+
+func TestGenerateWorkBalancedTimes(t *testing.T) {
+	// The default model draws sequential work in [5s, 50s]; verify the
+	// spec T values land in (roughly) that band.
+	st, p := fixture()
+	specs, _, err := Generate(st, p, Extreme, 4, "wb", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range specs {
+		if s.Task.T < 2 || s.Task.T > 60 {
+			t.Errorf("task %d T = %.1fs outside the work-balanced band", i, s.Task.T)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package xprs
+
+import (
+	"strings"
+	"testing"
+)
+
+func sqlFixture(t *testing.T) *System {
+	t.Helper()
+	s := New(DefaultConfig())
+	// orders: a = order id 0..1999; items: a = order id mod 500.
+	rows := make([]struct {
+		A int32
+		B string
+	}, 2000)
+	for i := range rows {
+		rows[i].A = int32(i)
+		rows[i].B = "order-payload"
+	}
+	if _, err := s.LoadRelation("orders", rows); err != nil {
+		t.Fatal(err)
+	}
+	items := make([]struct {
+		A int32
+		B string
+	}, 1500)
+	for i := range items {
+		items[i].A = int32(i) % 500
+		items[i].B = "item-payload"
+	}
+	if _, err := s.LoadRelation("items", items); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestExecSQLSelection(t *testing.T) {
+	s := sqlFixture(t)
+	res, pl, err := s.ExecSQL("SELECT * FROM orders WHERE a BETWEEN 100 AND 149", InterAdj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 50 {
+		t.Fatalf("rows = %d, want 50", res.Len())
+	}
+	if pl.Plan == nil || pl.SeqCost <= 0 {
+		t.Fatal("plan missing")
+	}
+}
+
+func TestExecSQLSelectionWithIndex(t *testing.T) {
+	s := sqlFixture(t)
+	if _, err := s.BuildIndex("orders", false); err != nil {
+		t.Fatal(err)
+	}
+	res, pl, err := s.ExecSQL("SELECT * FROM orders WHERE a BETWEEN 10 AND 19", IntraOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 10 {
+		t.Fatalf("rows = %d, want 10", res.Len())
+	}
+	// A highly selective range over an indexed column should pick the
+	// index scan access path.
+	if got := ExplainPlan(pl); !strings.Contains(got, "IndexScan") {
+		t.Fatalf("plan did not use the index:\n%s", got)
+	}
+}
+
+func TestExecSQLJoin(t *testing.T) {
+	s := sqlFixture(t)
+	res, pl, err := s.ExecSQL(
+		"SELECT * FROM orders, items WHERE orders.a = items.a AND orders.a < 500", InterAdj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each item matches exactly one order (ids 0..499 each appear once in
+	// orders); every one of the 1500 items joins.
+	if res.Len() != 1500 {
+		t.Fatalf("rows = %d, want 1500", res.Len())
+	}
+	for _, tp := range res.Tuples() {
+		if len(tp.Vals) != 4 {
+			t.Fatalf("row width = %d", len(tp.Vals))
+		}
+	}
+	if len(pl.Graph.Fragments) < 2 {
+		t.Fatalf("join plan fragments = %d", len(pl.Graph.Fragments))
+	}
+}
+
+func TestExecSQLErrors(t *testing.T) {
+	s := sqlFixture(t)
+	cases := []string{
+		"DELETE FROM orders",
+		"SELECT * FROM missing",
+		"SELECT * FROM orders WHERE zz = 1",
+		"SELECT * FROM orders, items", // cross product
+	}
+	for _, sql := range cases {
+		if _, _, err := s.ExecSQL(sql, InterAdj); err == nil {
+			t.Errorf("accepted %q", sql)
+		}
+	}
+}
+
+func TestExecSQLAggregates(t *testing.T) {
+	s := sqlFixture(t)
+	// Global aggregate: count and sum over a filtered scan.
+	res, _, err := s.ExecSQL("SELECT count(*), sum(a), min(a), max(a) FROM orders WHERE a < 100", InterAdj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("global agg rows = %d", res.Len())
+	}
+	row := res.Tuples()[0]
+	if row.Vals[0].Int != 100 {
+		t.Fatalf("count = %d, want 100", row.Vals[0].Int)
+	}
+	if row.Vals[1].Int != 4950 { // sum 0..99
+		t.Fatalf("sum = %d, want 4950", row.Vals[1].Int)
+	}
+	if row.Vals[2].Int != 0 || row.Vals[3].Int != 99 {
+		t.Fatalf("min/max = %d/%d", row.Vals[2].Int, row.Vals[3].Int)
+	}
+}
+
+func TestExecSQLGroupBy(t *testing.T) {
+	s := sqlFixture(t)
+	// items has a = i mod 500 over 1500 rows: three per group.
+	res, _, err := s.ExecSQL("SELECT a, count(*) FROM items GROUP BY a", InterAdj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 500 {
+		t.Fatalf("groups = %d, want 500", res.Len())
+	}
+	for _, tp := range res.Tuples() {
+		if tp.Vals[1].Int != 3 {
+			t.Fatalf("group %d count = %d, want 3", tp.Vals[0].Int, tp.Vals[1].Int)
+		}
+	}
+	// Output is ordered by group key (deterministic emission).
+	prev := int32(-1)
+	for _, tp := range res.Tuples() {
+		if tp.Vals[0].Int <= prev {
+			t.Fatal("group keys not ordered")
+		}
+		prev = tp.Vals[0].Int
+	}
+}
+
+func TestExecSQLGroupByOverJoin(t *testing.T) {
+	s := sqlFixture(t)
+	// Each of the 1500 items joins one order; grouping the join by item
+	// key gives 500 groups of 3.
+	res, _, err := s.ExecSQL(
+		"SELECT items.a, count(*) FROM orders, items WHERE orders.a = items.a GROUP BY items.a", InterAdj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 500 {
+		t.Fatalf("groups = %d, want 500", res.Len())
+	}
+	var total int32
+	for _, tp := range res.Tuples() {
+		total += tp.Vals[1].Int
+	}
+	if total != 1500 {
+		t.Fatalf("total count = %d, want 1500", total)
+	}
+}
+
+func TestExecSQLAggregateErrors(t *testing.T) {
+	s := sqlFixture(t)
+	bad := []string{
+		"SELECT a FROM orders",                      // bare column without aggregates
+		"SELECT b, count(*) FROM orders GROUP BY a", // select col != group col
+		"SELECT count(*) FROM orders GROUP BY b",    // text group col
+		"SELECT sum(b) FROM orders",                 // text sum
+		"SELECT * FROM orders GROUP BY a",           // star with group by
+		"SELECT count(*), a FROM orders",            // bare col, no group by
+	}
+	for _, sql := range bad {
+		if _, _, err := s.ExecSQL(sql, InterAdj); err == nil {
+			t.Errorf("accepted %q", sql)
+		}
+	}
+}

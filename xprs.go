@@ -1,0 +1,335 @@
+// Package xprs is a reproduction of the system described in Wei Hong,
+// "Exploiting Inter-Operation Parallelism in XPRS" (UCB/ERL M92/3,
+// January 1992): the XPRS shared-memory parallel query processor, its
+// adaptive IO/CPU-pairing processor scheduler with dynamic parallelism
+// adjustment, and the two-phase query optimizer extended to bushy trees
+// with the parcost cost function.
+//
+// The package is a facade over the internal subsystems:
+//
+//	internal/vclock    deterministic virtual time for real goroutines
+//	internal/diskmodel striped disk array (97/60/35 io/s service classes)
+//	internal/storage   8 KB slotted pages, heap relations, buffer pool
+//	internal/btree     B-tree indexes with balanced range splitting
+//	internal/expr      qualifications and selectivity estimation
+//	internal/plan      plan trees, blocking edges, fragment decomposition
+//	internal/cost      the calibrated cost model (T_i, D_i, C_i = D/T)
+//	internal/core      the paper's scheduler (classification, IO-CPU
+//	                   balance point, effective bandwidth, 3 policies)
+//	internal/exec      master/slave executor, page & range partitioning,
+//	                   both dynamic-adjustment protocols
+//	internal/opt       two-phase optimizer (seqcost / parcost)
+//	internal/workload  the §3 workload generator
+//
+// A System owns one simulated machine: processors, a disk array, a
+// store, and the parallel execution engine. All experiments run in
+// virtual time and are deterministic for a fixed seed.
+package xprs
+
+import (
+	"fmt"
+	"time"
+
+	"xprs/internal/btree"
+	"xprs/internal/core"
+	"xprs/internal/cost"
+	"xprs/internal/diskmodel"
+	"xprs/internal/exec"
+	"xprs/internal/expr"
+	"xprs/internal/opt"
+	"xprs/internal/plan"
+	"xprs/internal/sqlmini"
+	"xprs/internal/storage"
+	"xprs/internal/vclock"
+	"xprs/internal/workload"
+)
+
+// Re-exported types: the facade's vocabulary is the internal packages'.
+type (
+	// Policy is a scheduling algorithm: IntraOnly, InterNoAdj, InterAdj.
+	Policy = core.Policy
+	// SchedOptions tunes the scheduler (SJF, pairing heuristic).
+	SchedOptions = core.Options
+	// TaskSpec is one runnable plan fragment with dependencies.
+	TaskSpec = exec.TaskSpec
+	// Report is the outcome of running a task set.
+	Report = exec.Report
+	// Query is a join query for the optimizer.
+	Query = opt.Query
+	// QueryRel is one base relation of a Query.
+	QueryRel = opt.QueryRel
+	// JoinPred is an equi-join predicate of a Query.
+	JoinPred = opt.JoinPred
+	// OptOptions configures the optimizer (cost function, tree shape).
+	OptOptions = opt.Options
+	// OptResult is an optimized plan plus its fragment graph.
+	OptResult = opt.Result
+	// Params is the calibrated cost model.
+	Params = cost.Params
+	// DiskConfig describes the simulated disk array.
+	DiskConfig = diskmodel.Config
+	// Relation is a stored relation.
+	Relation = storage.Relation
+	// Index is a B-tree index.
+	Index = btree.Index
+	// Temp is a materialized result.
+	Temp = exec.Temp
+	// Tuple is one row.
+	Tuple = storage.Tuple
+)
+
+// Scheduling policies (§3's three algorithms).
+const (
+	IntraOnly  = core.IntraOnly
+	InterNoAdj = core.InterNoAdj
+	InterAdj   = core.InterAdj
+)
+
+// Optimizer knobs.
+const (
+	SeqCost  = opt.SeqCost
+	ParCost  = opt.ParCost
+	LeftDeep = opt.LeftDeep
+	Bushy    = opt.Bushy
+)
+
+// Config sizes the simulated machine.
+type Config struct {
+	// NProcs is the number of processors the scheduler plans for and the
+	// executor uses (the paper's experiments use 8).
+	NProcs int
+	// Disk describes the array; zero value means the paper's 4-disk
+	// array (97/60/35 io/s).
+	Disk DiskConfig
+	// BufferPoolPages sets page-cache capacity; 0 disables caching,
+	// which is how the §3 experiments run.
+	BufferPoolPages int
+}
+
+// DefaultConfig is the paper's machine: 8 processors, 4 disks, no cache.
+func DefaultConfig() Config {
+	return Config{NProcs: 8, Disk: diskmodel.DefaultConfig()}
+}
+
+// System is one simulated XPRS instance.
+type System struct {
+	cfg    Config
+	clock  *vclock.Virtual
+	disks  *diskmodel.Array
+	store  *storage.Store
+	engine *exec.Engine
+	params cost.Params
+	// indexes registered through BuildIndex, offered to the SQL layer as
+	// access paths: relation -> column -> index.
+	indexes map[*storage.Relation]map[int]*btree.Index
+}
+
+// New creates a system. It panics on nonsensical configuration
+// (construction errors are programmer errors).
+func New(cfg Config) *System {
+	if cfg.NProcs <= 0 {
+		cfg.NProcs = 8
+	}
+	if cfg.Disk.NumDisks == 0 {
+		cfg.Disk = diskmodel.DefaultConfig()
+	}
+	clock := vclock.NewVirtual()
+	disks := diskmodel.New(clock, cfg.Disk)
+	store := storage.NewStore(clock, disks, cfg.BufferPoolPages)
+	params := cost.DefaultParams(cfg.Disk, cfg.NProcs)
+	return &System{
+		cfg:     cfg,
+		clock:   clock,
+		disks:   disks,
+		store:   store,
+		engine:  exec.New(clock, store, params),
+		params:  params,
+		indexes: make(map[*storage.Relation]map[int]*btree.Index),
+	}
+}
+
+// Params returns the calibrated cost model.
+func (s *System) Params() Params { return s.params }
+
+// Store gives access to the relation catalog (for advanced use; the
+// Load/Create helpers cover common cases).
+func (s *System) Store() *storage.Store { return s.store }
+
+// CreateScanRelation builds a synthetic relation r(a int4, b text) whose
+// sequential scan runs at the target IO rate (§3's methodology).
+func (s *System) CreateScanRelation(name string, ioRate float64, ntuples int64) (*Relation, error) {
+	return workload.BuildScanRelation(s.store, s.params, name, ioRate, ntuples)
+}
+
+// LoadRelation builds a physical relation from explicit rows. Schema is
+// fixed to the experiments' r(a int4, b text).
+func (s *System) LoadRelation(name string, rows []struct {
+	A int32
+	B string
+}) (*Relation, error) {
+	b := storage.NewBuilder(s.store.NextID(), name, storage.NewSchema(
+		storage.Column{Name: "a", Typ: storage.Int4},
+		storage.Column{Name: "b", Typ: storage.Text},
+	))
+	for _, r := range rows {
+		if err := b.Append(storage.NewTuple(storage.IntVal(r.A), storage.TextVal(r.B))); err != nil {
+			return nil, err
+		}
+	}
+	rel := b.Finalize()
+	if err := s.store.Add(rel); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// BuildIndex creates a B-tree index on column "a" of the named relation
+// and registers it as an access path for the SQL layer.
+func (s *System) BuildIndex(relName string, clustered bool) (*Index, error) {
+	rel, ok := s.store.Relation(relName)
+	if !ok {
+		return nil, fmt.Errorf("xprs: unknown relation %q", relName)
+	}
+	ix, err := btree.BuildIndex(relName+"_a", rel, 0, clustered)
+	if err != nil {
+		return nil, err
+	}
+	if s.indexes[rel] == nil {
+		s.indexes[rel] = make(map[int]*btree.Index)
+	}
+	s.indexes[rel][ix.Col] = ix
+	return ix, nil
+}
+
+// Relation implements sqlmini.Catalog.
+func (s *System) Relation(name string) (*Relation, bool) { return s.store.Relation(name) }
+
+// IndexOn implements sqlmini.IndexCatalog.
+func (s *System) IndexOn(rel *Relation, col int) *Index { return s.indexes[rel][col] }
+
+// ExecSQL parses, optimizes and executes a SELECT statement:
+//
+//	select * from r1, r2 where r1.a = r2.a and r1.a between 10 and 99
+//
+// Phase one uses the bushy/parcost optimizer; phase two runs the
+// fragment graph under the given policy. The result temp and the chosen
+// plan are returned.
+func (s *System) ExecSQL(sql string, policy Policy) (*Temp, *OptResult, error) {
+	parsed, err := sqlmini.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	oq, binder, err := sqlmini.CompileWithBinder(parsed, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := s.Optimize(oq, OptOptions{Cost: ParCost, Shape: Bushy})
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(parsed.Aggs) > 0 {
+		// Wrap the chosen plan in the aggregation and re-derive the
+		// fragment graph: the Agg consumes the join pipeline within the
+		// root fragment and materializes one row per group.
+		groupCol, funcs, err := sqlmini.ResolveAggregates(parsed, binder, res.RelOrder)
+		if err != nil {
+			return nil, nil, err
+		}
+		wrapped := &plan.Agg{Child: res.Plan, GroupCol: groupCol, Funcs: funcs}
+		g, err := plan.Decompose(wrapped)
+		if err != nil {
+			return nil, nil, err
+		}
+		ests, err := cost.EstimateGraph(s.params, g)
+		if err != nil {
+			return nil, nil, err
+		}
+		res = &OptResult{
+			Plan: wrapped, Graph: g, Estimates: ests,
+			RelOrder: res.RelOrder, SeqCost: res.SeqCost, ParCost: res.ParCost,
+		}
+	}
+	specs, err := s.PlanTasks(res, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := s.Run(specs, policy, SchedOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := rep.Results[res.Graph.Root.ID]
+	if out == nil {
+		return nil, nil, fmt.Errorf("xprs: query produced no result temp")
+	}
+	return out, res, nil
+}
+
+// SelectTask builds the §3 unit of work: a one-variable selection
+// "select * from rel where lo <= a <= hi" as a single-fragment task.
+func (s *System) SelectTask(id int, relName string, lo, hi int32) (TaskSpec, error) {
+	rel, ok := s.store.Relation(relName)
+	if !ok {
+		return TaskSpec{}, fmt.Errorf("xprs: unknown relation %q", relName)
+	}
+	root := &plan.SeqScan{Rel: rel, Filter: expr.ColRange(0, "a", lo, hi)}
+	return s.taskFromPlan(id, relName, root)
+}
+
+// IndexSelectTask builds an index-scan selection (range-partitioned).
+func (s *System) IndexSelectTask(id int, ix *Index, lo, hi int32) (TaskSpec, error) {
+	root := &plan.IndexScan{Rel: ix.Rel, Index: ix, Lo: lo, Hi: hi}
+	return s.taskFromPlan(id, ix.Name, root)
+}
+
+func (s *System) taskFromPlan(id int, name string, root plan.Node) (TaskSpec, error) {
+	g, err := plan.Decompose(root)
+	if err != nil {
+		return TaskSpec{}, err
+	}
+	ests, err := cost.EstimateGraph(s.params, g)
+	if err != nil {
+		return TaskSpec{}, err
+	}
+	specs, err := exec.QueryTasks(g, ests, id)
+	if err != nil {
+		return TaskSpec{}, err
+	}
+	if len(specs) != 1 {
+		return TaskSpec{}, fmt.Errorf("xprs: plan decomposes into %d fragments; use PlanTasks", len(specs))
+	}
+	specs[0].Task.Name = name
+	return specs[0], nil
+}
+
+// PlanTasks converts an optimized query into runnable task specs with
+// dependencies; task IDs start at baseID.
+func (s *System) PlanTasks(res *OptResult, baseID int) ([]TaskSpec, error) {
+	return exec.QueryTasks(res.Graph, res.Estimates, baseID)
+}
+
+// Run executes a task set under a policy in virtual time and returns
+// the report. Deterministic for fixed inputs.
+func (s *System) Run(specs []TaskSpec, policy Policy, opts SchedOptions) (*Report, error) {
+	var rep *Report
+	var err error
+	s.clock.Run(func() {
+		rep, err = s.engine.Run(specs, policy, opts)
+	})
+	return rep, err
+}
+
+// Optimize runs the two-phase optimizer's phase one over a query.
+func (s *System) Optimize(q *Query, o OptOptions) (*OptResult, error) {
+	return opt.Optimize(q, s.params, o)
+}
+
+// ExplainPlan renders a plan tree.
+func ExplainPlan(res *OptResult) string {
+	return plan.Explain(res.Plan) + "\n" + plan.ExplainGraph(res.Graph)
+}
+
+// Now returns the system's current virtual time.
+func (s *System) Now() time.Duration { return s.clock.Now() }
+
+// DiskStats returns the accumulated disk statistics.
+func (s *System) DiskStats() diskmodel.Stats { return s.disks.Stats() }
