@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test race bench vet all
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineThroughput|BenchmarkBufferPoolParallel' -benchmem .
+	$(GO) run ./cmd/xprsbench -fig pipeline

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"xprs/internal/core"
+	"xprs/internal/storage"
 	"xprs/internal/workload"
 )
 
@@ -248,4 +249,46 @@ func shortPolicy(p Policy) string {
 	default:
 		return "adj"
 	}
+}
+
+// BenchmarkPipelineThroughput prices the executor hot path itself: one
+// scan -> hash-join -> aggregate query over 35k tuples. Wall-clock
+// ns/op and allocs/op here measure the pipeline interpreter, the
+// quantity the batch-at-a-time executor optimizes; BENCH_pipeline.json
+// (xprsbench -fig pipeline) tracks the same numbers across PRs.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	s, err := NewPipelineBenchSystem(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm-up run so one-time setup is off the clock.
+	if _, _, err := RunPipelineBenchQuery(s); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var tuples int64
+	for i := 0; i < b.N; i++ {
+		n, _, err := RunPipelineBenchQuery(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tuples += n
+	}
+	b.ReportMetric(float64(tuples)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkBufferPoolParallel hammers the buffer pool from all procs,
+// the access pattern of parallel scan slaves. Before the pool was
+// sharded this serialized on one mutex.
+func BenchmarkBufferPoolParallel(b *testing.B) {
+	bp := storage.NewBufferPool(4096)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		var p int64
+		for pb.Next() {
+			bp.Touch(int32(p%8), p%8192)
+			p += 37
+		}
+	})
 }

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,15 +25,19 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure/table to regenerate: 3, 4, 7, table1, balance-seq, sec4, stream, ablations, all")
+	fig := flag.String("fig", "all", "which figure/table to regenerate: 3, 4, 7, table1, balance-seq, sec4, stream, ablations, pipeline, all")
 	seed := flag.Int64("seed", 1992, "workload seed")
 	procs := flag.Int("procs", 8, "number of processors")
 	disks := flag.Int("disks", 4, "number of disks")
+	batch := flag.Int("batch", 0, "executor batch size (0 = default)")
+	iters := flag.Int("iters", 5, "iterations for the pipeline benchmark")
+	out := flag.String("out", "BENCH_pipeline.json", "output file for the pipeline benchmark")
 	flag.Parse()
 
 	cfg := xprs.DefaultConfig()
 	cfg.NProcs = *procs
 	cfg.Disk.NumDisks = *disks
+	cfg.BatchSize = *batch
 
 	run := func(name string, fn func() error) {
 		if *fig != "all" && *fig != name {
@@ -91,6 +96,40 @@ func main() {
 			return err
 		}
 		fmt.Print(xprs.FormatAblations(rows))
+		return nil
+	})
+	run("pipeline", func() error {
+		res, err := xprs.MeasurePipeline(cfg, *iters)
+		if err != nil {
+			return err
+		}
+		// The tuple-at-a-time executor's numbers on the same canonical
+		// query (recorded before the batch pipeline landed), kept in the
+		// file so regressions are visible without digging through git.
+		payload := struct {
+			*xprs.PipelineBenchResult
+			Baseline struct {
+				NsPerOp     float64 `json:"ns_per_op"`
+				AllocsPerOp float64 `json:"allocs_per_op"`
+				BytesPerOp  float64 `json:"bytes_per_op"`
+			} `json:"tuple_at_a_time_baseline"`
+		}{PipelineBenchResult: res}
+		payload.Baseline.NsPerOp = 17108129
+		payload.Baseline.AllocsPerOp = 128017
+		payload.Baseline.BytesPerOp = 10026465
+		data, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		eff := cfg.BatchSize
+		if eff <= 0 {
+			eff = xprs.DefaultBatchSize
+		}
+		fmt.Printf("pipeline: %.0f tuples/s, %.0f ns/op, %.0f allocs/op, %.0f B/op (batch=%d) -> %s\n",
+			res.TuplesPerSec, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, eff, *out)
 		return nil
 	})
 }

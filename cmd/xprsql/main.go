@@ -94,8 +94,8 @@ func run(sys *xprs.System, stmt string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("-- plan (seqcost %.2fs, parcost %.2fs):\n%s",
-		pl.SeqCost, pl.ParCost, xprs.ExplainPlan(pl))
+	fmt.Printf("-- plan (seqcost %.2fs, parcost %.2fs, batch %d):\n%s",
+		pl.SeqCost, pl.ParCost, sys.BatchSize(), xprs.ExplainPlan(pl))
 	n := res.Len()
 	for i, t := range res.Tuples() {
 		if i >= 10 {

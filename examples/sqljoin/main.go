@@ -12,6 +12,7 @@ import (
 
 func main() {
 	sys := xprs.New(xprs.DefaultConfig())
+	fmt.Printf("executor batch size: %d tuples\n\n", sys.BatchSize())
 
 	orders := make([]struct {
 		A int32

@@ -93,7 +93,9 @@ func (st *aggState) mergeInto(partial map[int32][]int64) {
 	}
 }
 
-// emit writes the final per-group rows, ordered by group key.
+// emit writes the final per-group rows, ordered by group key. All row
+// values share one backing array: the output is built exactly once, so
+// per-row slice allocations would be pure overhead.
 func (st *aggState) emit(out *Temp) int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -102,35 +104,85 @@ func (st *aggState) emit(out *Temp) int {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	ncols := len(st.funcs)
+	if st.groupCol >= 0 {
+		ncols++
+	}
+	vals := make([]storage.Value, 0, len(keys)*ncols)
 	rows := make([]storage.Tuple, 0, len(keys))
 	for _, k := range keys {
 		acc := st.groups[k]
-		var vals []storage.Value
+		start := len(vals)
 		if st.groupCol >= 0 {
 			vals = append(vals, storage.IntVal(k))
 		}
 		for _, v := range acc {
 			vals = append(vals, storage.IntVal(int32(v)))
 		}
-		rows = append(rows, storage.Tuple{Vals: vals})
+		rows = append(rows, storage.Tuple{Vals: vals[start:len(vals):len(vals)]})
 	}
 	out.Append(rows)
 	return len(rows)
 }
 
-// accumulate is the per-tuple slave-side path.
-func (sc *slaveCtx) accumulate(st *aggState, t storage.Tuple) {
+// accumulateBatch folds one batch into the slave's private accumulator
+// table. Consecutive tuples of one group (the common case when the
+// input arrives ordered) reuse the last looked-up accumulator.
+func (sc *slaveCtx) accumulateBatch(st *aggState, ts []storage.Tuple) {
 	if sc.aggLocal == nil {
 		sc.aggLocal = make(map[int32][]int64)
 	}
-	key := int32(0)
-	if st.groupCol >= 0 {
-		key = t.Vals[st.groupCol].Int
+	funcs := st.funcs
+	gc := st.groupCol
+	var lastKey int32
+	var lastAcc []int64
+	for i := range ts {
+		key := int32(0)
+		if gc >= 0 {
+			key = ts[i].Vals[gc].Int
+		}
+		acc := lastAcc
+		if acc == nil || key != lastKey {
+			var ok bool
+			acc, ok = sc.aggLocal[key]
+			if !ok {
+				acc = sc.newAccum(funcs)
+				sc.aggLocal[key] = acc
+			}
+			lastKey, lastAcc = key, acc
+		}
+		fold(acc, funcs, ts[i])
 	}
-	acc, ok := sc.aggLocal[key]
-	if !ok {
-		acc = initAccum(st.funcs)
-		sc.aggLocal[key] = acc
+}
+
+// aggSlabChunk is the accumulator-slab growth unit (int64 words).
+const aggSlabChunk = 1024
+
+// newAccum carves an identity accumulator out of the slave's slab.
+func (sc *slaveCtx) newAccum(funcs []plan.AggFunc) []int64 {
+	n := len(funcs)
+	if n == 0 {
+		return []int64{}
 	}
-	fold(acc, st.funcs, t)
+	if len(sc.aggSlab)+n > cap(sc.aggSlab) {
+		c := aggSlabChunk
+		if c < n {
+			c = n
+		}
+		sc.aggSlab = make([]int64, 0, c)
+	}
+	start := len(sc.aggSlab)
+	sc.aggSlab = sc.aggSlab[:start+n]
+	acc := sc.aggSlab[start : start+n : start+n]
+	for i, f := range funcs {
+		switch f.Kind {
+		case plan.Min:
+			acc[i] = math.MaxInt64
+		case plan.Max:
+			acc[i] = math.MinInt64
+		default:
+			acc[i] = 0
+		}
+	}
+	return acc
 }

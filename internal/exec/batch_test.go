@@ -1,0 +1,200 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"xprs/internal/btree"
+	"xprs/internal/core"
+	"xprs/internal/expr"
+	"xprs/internal/plan"
+)
+
+// The batch-at-a-time pipeline must be a pure wall-clock optimization:
+// for any batch size, a fragment graph must produce the identical
+// result multiset AND the identical virtual-time trajectory (makespan,
+// per-task finish times, disk statistics). These tests sweep batch
+// sizes including the degenerate tuple-at-a-time case (1), a size that
+// never divides page or group boundaries evenly (7), the default (256),
+// and one larger than every relation involved.
+
+var sweepSizes = []int{1, 7, 256, 1 << 20}
+
+// canonTuples renders a temp as a sorted multiset of rows.
+func canonTuples(temp *Temp) []string {
+	rows := make([]string, 0, temp.Len())
+	for _, tp := range temp.Tuples() {
+		var b strings.Builder
+		for i, v := range tp.Vals {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d|%q", v.Int, v.Str)
+		}
+		rows = append(rows, b.String())
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// sweepOutcome is everything that must not depend on the batch size.
+type sweepOutcome struct {
+	rows    []string
+	elapsed string
+	finish  string
+	disk    string
+}
+
+// runSweep executes the plan built by mk at every sweep size and
+// asserts identical outcomes. mk receives a fresh engine per run (batch
+// size is set after construction) and returns the plan root.
+func runSweep(t *testing.T, poolPages int, policy core.Policy, mk func(eng *Engine) plan.Node) {
+	t.Helper()
+	var base *sweepOutcome
+	for _, bs := range sweepSizes {
+		v, eng := testEngine(poolPages)
+		eng.BatchSize = bs
+		root := mk(eng)
+		specs, g := specFor(t, eng, root, 0)
+		rep := runOne(t, v, eng, specs, policy)
+		finish := make([]string, 0, len(rep.Finish))
+		for id, at := range rep.Finish {
+			finish = append(finish, fmt.Sprintf("%d@%v", id, at))
+		}
+		sort.Strings(finish)
+		got := &sweepOutcome{
+			rows:    canonTuples(rep.Results[g.Root.ID]),
+			elapsed: rep.Elapsed.String(),
+			finish:  strings.Join(finish, " "),
+			disk:    fmt.Sprintf("%+v", rep.Disk),
+		}
+		if base == nil {
+			base = got
+			if len(got.rows) == 0 {
+				t.Fatalf("batch=%d produced no rows; sweep is vacuous", bs)
+			}
+			continue
+		}
+		if len(got.rows) != len(base.rows) {
+			t.Fatalf("batch=%d rows = %d, want %d (batch=%d)", bs, len(got.rows), len(base.rows), sweepSizes[0])
+		}
+		for i := range got.rows {
+			if got.rows[i] != base.rows[i] {
+				t.Fatalf("batch=%d row %d = %s, want %s", bs, i, got.rows[i], base.rows[i])
+			}
+		}
+		if got.elapsed != base.elapsed {
+			t.Errorf("batch=%d elapsed = %s, want %s", bs, got.elapsed, base.elapsed)
+		}
+		if got.finish != base.finish {
+			t.Errorf("batch=%d finish times = %s, want %s", bs, got.finish, base.finish)
+		}
+		if got.disk != base.disk {
+			t.Errorf("batch=%d disk stats = %s, want %s", bs, got.disk, base.disk)
+		}
+	}
+}
+
+// TestBatchSweepSeqScanFilter covers the page driver with a residual
+// qualification (filter batches must not shift IO points).
+func TestBatchSweepSeqScanFilter(t *testing.T) {
+	runSweep(t, 0, core.InterAdj, func(eng *Engine) plan.Node {
+		rel := buildRel(t, eng.Store, "s", 1100, 90, 24)
+		return &plan.SeqScan{Rel: rel, Filter: expr.ColRange(0, "a", 10, 69)}
+	})
+}
+
+// TestBatchSweepIndexScan covers the range driver, whose random reads
+// interleave with batch delivery tuple group by tuple group.
+func TestBatchSweepIndexScan(t *testing.T) {
+	runSweep(t, 0, core.InterAdj, func(eng *Engine) plan.Node {
+		rel := buildShuffledRel(t, eng.Store, "ri", 900, 24)
+		ix, err := btree.BuildIndex("ri_a", rel, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &plan.IndexScan{Rel: rel, Index: ix, Lo: 100, Hi: 399}
+	})
+}
+
+// TestBatchSweepHashJoinAgg covers hash build (batched inserts), hash
+// probe (batched emission) and two-phase aggregation.
+func TestBatchSweepHashJoinAgg(t *testing.T) {
+	runSweep(t, 0, core.InterAdj, func(eng *Engine) plan.Node {
+		l := buildRel(t, eng.Store, "hl", 1200, 80, 20)
+		r := buildRel(t, eng.Store, "hr", 400, 80, 20)
+		hj := &plan.HashJoin{Left: &plan.SeqScan{Rel: l}, Right: &plan.SeqScan{Rel: r}, LCol: 0, RCol: 0}
+		return &plan.Agg{Child: hj, GroupCol: 0, Funcs: []plan.AggFunc{{Kind: plan.CountAll}}}
+	})
+}
+
+// TestBatchSweepDeepPipeline covers all three join methods stacked:
+// MergeJoin feeding a NestLoop (whose inner rescans block on IO between
+// emissions) feeding a HashJoin probe — the hardest case for keeping
+// the clock batch-independent.
+func TestBatchSweepDeepPipeline(t *testing.T) {
+	runSweep(t, 64, core.InterAdj, func(eng *Engine) plan.Node {
+		r1 := buildRel(t, eng.Store, "b1", 300, 60, 20)
+		r2 := buildRel(t, eng.Store, "b2", 240, 60, 20)
+		r3 := buildRel(t, eng.Store, "b3", 120, 60, 20)
+		r4 := buildRel(t, eng.Store, "b4", 180, 60, 20)
+		mj := &plan.MergeJoin{
+			Left:  &plan.Sort{Child: &plan.SeqScan{Rel: r1}, Col: 0},
+			Right: &plan.Sort{Child: &plan.SeqScan{Rel: r2}, Col: 0},
+			LCol:  0, RCol: 0,
+		}
+		nl := &plan.NestLoop{
+			Outer: mj,
+			Inner: &plan.Material{Child: &plan.SeqScan{Rel: r3}},
+			Pred:  expr.Cmp{Op: expr.EQ, L: expr.Col{Idx: 0}, R: expr.Col{Idx: 4}},
+		}
+		return &plan.HashJoin{Left: nl, Right: &plan.SeqScan{Rel: r4}, LCol: 0, RCol: 0}
+	})
+}
+
+// TestBatchSweepNestLoopIndexInner covers the nestloop whose inner is
+// an index rescan: every outer tuple triggers random IO, so emitter
+// batches ahead of it must flush per emission.
+func TestBatchSweepNestLoopIndexInner(t *testing.T) {
+	runSweep(t, 32, core.InterAdj, func(eng *Engine) plan.Node {
+		outer := buildRel(t, eng.Store, "no", 90, 30, 20)
+		inner := buildShuffledRel(t, eng.Store, "ni", 300, 20)
+		ix, err := btree.BuildIndex("ni_a", inner, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &plan.NestLoop{
+			Outer: &plan.SeqScan{Rel: outer},
+			Inner: &plan.IndexScan{Rel: inner, Index: ix, Lo: 0, Hi: 49},
+			Pred:  expr.Cmp{Op: expr.EQ, L: expr.Col{Idx: 0}, R: expr.Col{Idx: 2}},
+		}
+	})
+}
+
+// TestBatchBufferPoolReuse pins down that pooled batch buffers do not
+// leak tuples between queries on one engine.
+func TestBatchBufferPoolReuse(t *testing.T) {
+	v, eng := testEngine(0)
+	rel := buildRel(t, eng.Store, "p", 500, 50, 20)
+	root := &plan.SeqScan{Rel: rel, Filter: expr.ColRange(0, "a", 0, 24)}
+	var first []string
+	for i := 0; i < 3; i++ {
+		specs, g := specFor(t, eng, root, i*10)
+		rep := runOne(t, v, eng, specs, core.InterAdj)
+		rows := canonTuples(rep.Results[g.Root.ID+i*10])
+		if first == nil {
+			first = rows
+			continue
+		}
+		if len(rows) != len(first) {
+			t.Fatalf("run %d rows = %d, want %d", i, len(rows), len(first))
+		}
+		for j := range rows {
+			if rows[j] != first[j] {
+				t.Fatalf("run %d row %d = %s, want %s", i, j, rows[j], first[j])
+			}
+		}
+	}
+}

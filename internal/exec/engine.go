@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"xprs/internal/core"
@@ -13,6 +14,12 @@ import (
 	"xprs/internal/vclock"
 )
 
+// DefaultBatchSize is the executor's tuple-batch granularity when
+// Engine.BatchSize is unset: big enough to amortize per-batch costs
+// (lock round-trips, virtual-clock events) over the hot path, small
+// enough that batches of joined tuples stay cache-resident.
+const DefaultBatchSize = 256
+
 // Engine is the XPRS parallel executor: one master backend (the
 // goroutine that calls Run) plus slave backends it spawns per task.
 type Engine struct {
@@ -21,11 +28,48 @@ type Engine struct {
 	Params cost.Params
 	Env    core.Env
 
-	// cpuQuantum batches per-tuple CPU charges into clock sleeps
-	// (seconds); purely a simulation-efficiency knob.
-	cpuQuantum float64
+	// BatchSize is the number of tuples per pipeline batch; 0 means
+	// DefaultBatchSize. Set before Run. Results and virtual-clock totals
+	// are independent of the value — it is purely a wall-clock
+	// efficiency knob (and a correctness-test lever).
+	BatchSize int
+
+	// cpuQuantumPs batches per-tuple CPU charges into clock sleeps
+	// (picoseconds); purely a simulation-efficiency knob.
+	cpuQuantumPs int64
+
+	// batchPool recycles batch buffers across slaves and tasks; entries
+	// are pointers so Put does not re-box the slice header.
+	batchPool sync.Pool
 
 	events *vclock.Mailbox
+}
+
+// batchSize returns the effective pipeline batch size.
+func (e *Engine) batchSize() int {
+	if e.BatchSize > 0 {
+		return e.BatchSize
+	}
+	return DefaultBatchSize
+}
+
+// getBatch hands out an empty batch buffer with capacity batchSize.
+func (e *Engine) getBatch() *[]storage.Tuple {
+	if v := e.batchPool.Get(); v != nil {
+		b := v.(*[]storage.Tuple)
+		if cap(*b) >= e.batchSize() {
+			*b = (*b)[:0]
+			return b
+		}
+	}
+	b := make([]storage.Tuple, 0, e.batchSize())
+	return &b
+}
+
+// putBatch returns a batch buffer to the pool.
+func (e *Engine) putBatch(b *[]storage.Tuple) {
+	*b = (*b)[:0]
+	e.batchPool.Put(b)
 }
 
 // New creates an engine over the given store, deriving the scheduling
@@ -42,7 +86,7 @@ func New(clock vclock.Clock, store *storage.Store, params cost.Params) *Engine {
 			Br:     params.Br,
 			BrRand: params.BrRand,
 		},
-		cpuQuantum: 2e-3,
+		cpuQuantumPs: 2e9, // 2 ms
 	}
 }
 

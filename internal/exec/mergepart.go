@@ -28,6 +28,9 @@ type mergeDriver struct {
 	join        *plan.MergeJoin
 	left, right *Temp
 	lcol, rcol  int
+	// slot is the per-slave value arena joined tuples are built in when
+	// the consumer does not retain them.
+	slot int
 }
 
 func newMergeDriver(fr *fragRun, leaf plan.Node) (*mergeDriver, error) {
@@ -54,7 +57,7 @@ func newMergeDriver(fr *fragRun, leaf plan.Node) (*mergeDriver, error) {
 	if left.SortedBy() != mj.LCol || right.SortedBy() != mj.RCol {
 		return nil, fmt.Errorf("exec: merge join inputs not sorted on join columns")
 	}
-	return &mergeDriver{fr: fr, join: mj, left: left, right: right, lcol: mj.LCol, rcol: mj.RCol}, nil
+	return &mergeDriver{fr: fr, join: mj, left: left, right: right, lcol: mj.LCol, rcol: mj.RCol, slot: fr.newArena()}, nil
 }
 
 // keyBounds returns the union of both inputs' key ranges.
@@ -178,6 +181,25 @@ func (d *mergeDriver) run(sc *slaveCtx) error {
 	p := d.fr.eng.Params
 	lt := d.left.Tuples()
 	rt := d.right.Tuples()
+	cons := d.fr.root
+	limit := d.fr.emitLimit(cons)
+	bp := sc.getBatch()
+	out := *bp
+	defer func() {
+		*bp = out
+		sc.putBatch(bp)
+	}()
+	flush := func() error {
+		if len(out) == 0 {
+			return nil
+		}
+		err := cons.proc(sc, out)
+		out = out[:0]
+		if !cons.retains {
+			sc.arenaReset(d.slot)
+		}
+		return err
+	}
 	for {
 		if len(a.intervals) == 0 {
 			return nil
@@ -210,10 +232,22 @@ func (d *mergeDriver) run(sc *slaveCtx) error {
 		for _, l := range lg {
 			for _, r := range rg {
 				sc.chargeCPU(p.EmitCPU)
-				if err := d.fr.process(sc, l.Concat(r)); err != nil {
-					return err
+				if cons.retains {
+					out = append(out, l.Concat(r))
+				} else {
+					out = append(out, sc.arenaConcat(d.slot, l, r))
+				}
+				if len(out) >= limit {
+					if err := flush(); err != nil {
+						return err
+					}
 				}
 			}
+		}
+		// Deliver the group before the checkpoint so adjustments pause
+		// with no buffered output in flight.
+		if err := flush(); err != nil {
+			return err
 		}
 		if key >= iv.Hi {
 			a.intervals = a.intervals[1:]

@@ -110,7 +110,19 @@ func (s *relSource) enqueue(sc *slaveCtx, p int64) time.Duration {
 }
 
 func (s *relSource) fetch(sc *slaveCtx, p int64) ([]storage.Tuple, error) {
-	tuples, err := s.rel.PageTuples(p)
+	var tuples []storage.Tuple
+	var err error
+	if s.rel.Synthetic() {
+		// Generated relations materialize into the slave's reusable page
+		// buffer; physical relations return the store's shared decoded
+		// page, which must never be fed back as a scratch buffer.
+		tuples, err = s.rel.PageTuplesInto(p, sc.pageBuf[:0])
+		if err == nil {
+			sc.pageBuf = tuples
+		}
+	} else {
+		tuples, err = s.rel.PageTuples(p)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -286,16 +298,25 @@ func (d *pageDriver) run(sc *slaveCtx) error {
 		avail time.Duration
 	}
 	var q []inflight
+	bsz := d.fr.eng.batchSize()
 	serve := func(head inflight) error {
+		// Settle all simulated work preceding this disk wait (invariant 2
+		// in pipeline.go), then block until the page is available.
+		sc.flushCPU()
 		d.fr.eng.Clock.SleepUntil(head.avail)
 		tuples, err := d.src.fetch(sc, head.page)
 		if err != nil {
 			return err
 		}
-		for _, t := range tuples {
-			if err := d.fr.process(sc, t); err != nil {
+		for len(tuples) > 0 {
+			n := len(tuples)
+			if n > bsz {
+				n = bsz
+			}
+			if err := d.fr.processBatch(sc, tuples[:n]); err != nil {
 				return err
 			}
+			tuples = tuples[n:]
 		}
 		return nil
 	}

@@ -9,6 +9,46 @@ import (
 	"xprs/internal/storage"
 )
 
+// The pipeline executes batch-at-a-time: fragments compile to a chain
+// of batchProc closures over fixed-size tuple batches, so interpreter
+// overhead (closure calls, lock round-trips, clock events) is paid per
+// batch instead of per tuple.
+//
+// Two invariants keep virtual time independent of the batch size:
+//
+//  1. CPU is charged when the simulated work happens (cheap float adds
+//     into the slave's debt counter), at page/group granularity for
+//     scans and per emission for joins, never lazily per batch of some
+//     other granularity.
+//  2. Before every blocking disk wait, all pending work is flushed:
+//     the slave's buffered output batches (so downstream charges land)
+//     and then its CPU debt. The clock value at every IO point is
+//     therefore a pure function of the work preceding that IO.
+//
+// Batches are read-only views: operators that need a subset (filters)
+// or an expansion (joins) write into scratch buffers from the engine's
+// batch pool, and joined tuples for non-retaining consumers are built
+// in per-operator value arenas owned by the slave, so the hot path
+// allocates only when a buffer first grows.
+
+// batchProc consumes one batch of tuples inside a slave. Batches are
+// read-only; implementations must not mutate ts or hold it past the
+// call (tuple structs may be copied out — their Vals are immutable).
+type batchProc func(sc *slaveCtx, ts []storage.Tuple) error
+
+// consumer is a compiled pipeline stage plus the facts its producer
+// needs: whether it keeps references to fed tuples beyond the call
+// (sinks do; joins and aggregates copy or fold immediately), and
+// whether feeding it can block on IO (a nestloop rescan). Producers
+// heap-allocate joined tuples for retaining consumers and reuse arena
+// memory otherwise; they hand tuples one at a time to blocking
+// consumers so clock positions at IO points stay batch-independent.
+type consumer struct {
+	proc     batchProc
+	retains  bool
+	blocking bool
+}
+
 // fragRun is the runtime of one fragment: the compiled pipeline plus its
 // input temps/hash tables and its output.
 type fragRun struct {
@@ -23,8 +63,33 @@ type fragRun struct {
 	outHash *HashTable // for HashOut
 	agg     *aggState  // non-nil when the fragment root is an Agg
 
-	// process consumes one driver tuple inside a slave.
-	process func(sc *slaveCtx, t storage.Tuple) error
+	// root is the compiled pipeline the drivers feed batches into.
+	root consumer
+
+	// nArenas counts the per-slave value-arena slots handed out to
+	// emitting operators at compile time.
+	nArenas int
+}
+
+// processBatch feeds one batch of driver tuples through the pipeline.
+func (fr *fragRun) processBatch(sc *slaveCtx, ts []storage.Tuple) error {
+	return fr.root.proc(sc, ts)
+}
+
+// newArena reserves a value-arena slot for one emitting operator.
+func (fr *fragRun) newArena() int {
+	s := fr.nArenas
+	fr.nArenas++
+	return s
+}
+
+// emitLimit is the batch size an emitting operator flushes at: one for
+// blocking consumers (see consumer), the engine batch size otherwise.
+func (fr *fragRun) emitLimit(cons consumer) int {
+	if cons.blocking {
+		return 1
+	}
+	return fr.eng.batchSize()
 }
 
 // newFragRun wires a fragment to its materialized inputs and compiles
@@ -38,15 +103,11 @@ func newFragRun(eng *Engine, frag *plan.Fragment, temps map[*plan.Fragment]*Temp
 	default:
 		fr.outTemp = NewTemp(outSchema)
 	}
-	sink, err := fr.compileSink()
+	root, err := fr.compile(frag.Root, fr.compileSink(), true)
 	if err != nil {
 		return nil, err
 	}
-	proc, err := fr.compile(frag.Root, sink, true)
-	if err != nil {
-		return nil, err
-	}
-	fr.process = proc
+	fr.root = root
 	return fr, nil
 }
 
@@ -64,215 +125,329 @@ func (fr *fragRun) finalize() {
 	}
 }
 
-// compileSink builds the terminal consumer of the pipeline.
-func (fr *fragRun) compileSink() (func(sc *slaveCtx, t storage.Tuple) error, error) {
+// compileSink builds the terminal consumer of the pipeline. Both sinks
+// retain the tuples they are fed (the temp and the hash table keep the
+// Vals slices), so upstream joins heap-allocate what reaches them.
+func (fr *fragRun) compileSink() consumer {
 	if fr.outHash != nil {
-		return func(sc *slaveCtx, t storage.Tuple) error {
-			sc.chargeCPU(fr.eng.Params.HashInsertCPU)
-			return fr.outHash.Insert(t)
-		}, nil
+		insertCPU := fr.eng.Params.HashInsertCPU
+		return consumer{retains: true, proc: func(sc *slaveCtx, ts []storage.Tuple) error {
+			sc.chargeCPUPer(insertCPU, len(ts))
+			return fr.outHash.InsertBatch(ts)
+		}}
 	}
-	return func(sc *slaveCtx, t storage.Tuple) error {
-		sc.buffer(t)
+	return consumer{retains: true, proc: func(sc *slaveCtx, ts []storage.Tuple) error {
+		sc.bufferBatch(ts)
 		return nil
-	}, nil
+	}}
 }
 
-// compile builds the per-driver-tuple processing chain for the subtree
-// rooted at n. The returned function is invoked with tuples produced by
-// the subtree's driver leaf; atRoot marks the fragment root (where Sort
-// is absorbed into the output).
-func (fr *fragRun) compile(n plan.Node, sink func(*slaveCtx, storage.Tuple) error, atRoot bool) (func(*slaveCtx, storage.Tuple) error, error) {
+// compile builds the batch-processing chain for the subtree rooted at
+// n, feeding cons. The returned consumer is invoked with batches
+// produced by the subtree's driver leaf; atRoot marks the fragment root
+// (where Sort is absorbed into the output).
+func (fr *fragRun) compile(n plan.Node, cons consumer, atRoot bool) (consumer, error) {
 	switch x := n.(type) {
 	case *plan.SeqScan:
-		filter := x.Filter
-		return func(sc *slaveCtx, t storage.Tuple) error {
-			ok, err := expr.Qualifies(filter, t)
-			if err != nil {
-				return err
-			}
-			if ok {
-				return sink(sc, t)
-			}
-			return nil
-		}, nil
+		return fr.compileFilter(x.Filter, cons), nil
 
 	case *plan.IndexScan:
-		filter := x.Filter
-		return func(sc *slaveCtx, t storage.Tuple) error {
-			ok, err := expr.Qualifies(filter, t)
-			if err != nil {
-				return err
-			}
-			if ok {
-				return sink(sc, t)
-			}
-			return nil
-		}, nil
+		return fr.compileFilter(x.Filter, cons), nil
 
 	case *plan.FragScan:
 		// Driver tuples come straight from the temp; no residual filter.
-		return sink, nil
+		return cons, nil
 
 	case *plan.Sort:
 		if !atRoot {
-			return nil, fmt.Errorf("exec: Sort below fragment root")
+			return consumer{}, fmt.Errorf("exec: Sort below fragment root")
 		}
-		// The per-tuple path of a sort is plain collection; ordering
-		// happens in finalize.
-		return fr.compile(x.Child, sink, false)
+		// The batch path of a sort is plain collection; ordering happens
+		// in finalize.
+		return fr.compile(x.Child, cons, false)
 
 	case *plan.Agg:
 		if !atRoot {
-			return nil, fmt.Errorf("exec: Agg below fragment root")
+			return consumer{}, fmt.Errorf("exec: Agg below fragment root")
 		}
 		fr.agg = newAggState(x)
 		foldCPU := fr.eng.Params.HashInsertCPU
-		return fr.compile(x.Child, func(sc *slaveCtx, t storage.Tuple) error {
-			sc.chargeCPU(foldCPU)
-			sc.accumulate(fr.agg, t)
+		acc := consumer{proc: func(sc *slaveCtx, ts []storage.Tuple) error {
+			sc.chargeCPUPer(foldCPU, len(ts))
+			sc.accumulateBatch(fr.agg, ts)
 			return nil
-		}, false)
+		}}
+		return fr.compile(x.Child, acc, false)
 
 	case *plan.NestLoop:
-		inner := x.Inner
-		pred := x.Pred
+		rescan, err := fr.compileRescan(x.Inner)
+		if err != nil {
+			return consumer{}, err
+		}
+		pred := expr.CompilePred(x.Pred)
 		emitCPU := fr.eng.Params.EmitCPU
 		rescanCPU := fr.eng.Params.RescanSetupCPU
-		outerProc, err := fr.compile(x.Outer, func(sc *slaveCtx, ot storage.Tuple) error {
-			sc.chargeCPU(rescanCPU)
-			return fr.scanAll(sc, inner, func(sc *slaveCtx, it storage.Tuple) error {
-				joined := ot.Concat(it)
-				ok, err := expr.Qualifies(pred, joined)
-				if err != nil {
-					return err
-				}
-				if ok {
-					sc.chargeCPU(emitCPU)
-					return sink(sc, joined)
-				}
-				return nil
-			})
-		}, false)
-		if err != nil {
-			return nil, err
-		}
-		return outerProc, nil
+		slot := fr.newArena()
+		outer := consumer{blocking: true, proc: func(sc *slaveCtx, ots []storage.Tuple) error {
+			return fr.nestLoopBatch(sc, ots, rescan, pred, slot, cons, rescanCPU, emitCPU)
+		}}
+		return fr.compile(x.Outer, outer, false)
 
 	case *plan.HashJoin:
 		fs, ok := x.Right.(*plan.FragScan)
 		if !ok {
-			return nil, fmt.Errorf("exec: HashJoin build side is %T, want FragScan (decompose first)", x.Right)
+			return consumer{}, fmt.Errorf("exec: HashJoin build side is %T, want FragScan (decompose first)", x.Right)
 		}
 		lcol := x.LCol
 		probeCPU := fr.eng.Params.HashProbeCPU
 		emitCPU := fr.eng.Params.EmitCPU
 		buildFrag := fs.Frag
-		return fr.compile(x.Left, func(sc *slaveCtx, lt storage.Tuple) error {
+		slot := fr.newArena()
+		limit := fr.emitLimit(cons)
+		probe := consumer{blocking: cons.blocking, proc: func(sc *slaveCtx, lts []storage.Tuple) error {
 			ht := fr.hashes[buildFrag]
 			if ht == nil {
 				return fmt.Errorf("exec: hash table for fragment f%d not built", buildFrag.ID)
 			}
-			sc.chargeCPU(probeCPU)
-			if lcol >= len(lt.Vals) {
-				return fmt.Errorf("exec: probe column %d out of range", lcol)
-			}
-			for _, bt := range ht.Probe(lt.Vals[lcol].Int) {
-				sc.chargeCPU(emitCPU)
-				if err := sink(sc, lt.Concat(bt)); err != nil {
-					return err
+			sc.chargeCPUPer(probeCPU, len(lts))
+			bp := sc.getBatch()
+			out := *bp
+			var err error
+		probeLoop:
+			for i := range lts {
+				lt := lts[i]
+				if lcol >= len(lt.Vals) {
+					err = fmt.Errorf("exec: probe column %d out of range", lcol)
+					break
+				}
+				for _, bt := range ht.Probe(lt.Vals[lcol].Int) {
+					sc.chargeCPU(emitCPU)
+					if cons.retains {
+						out = append(out, lt.Concat(bt))
+					} else {
+						out = append(out, sc.arenaConcat(slot, lt, bt))
+					}
+					if len(out) >= limit {
+						err = cons.proc(sc, out)
+						out = out[:0]
+						if !cons.retains {
+							sc.arenaReset(slot)
+						}
+						if err != nil {
+							break probeLoop
+						}
+					}
 				}
 			}
-			return nil
-		}, false)
+			if err == nil && len(out) > 0 {
+				err = cons.proc(sc, out)
+				if !cons.retains {
+					sc.arenaReset(slot)
+				}
+			}
+			*bp = out[:0]
+			sc.putBatch(bp)
+			return err
+		}}
+		return fr.compile(x.Left, probe, false)
 
 	case *plan.MergeJoin:
-		// Merge joins are fragment drivers; their tuples are produced by
-		// the merge driver directly and enter the chain above them, so
-		// compile is only ever called on them at the driver position.
-		return sink, nil
+		// Merge joins are fragment drivers; their joined tuples are
+		// produced by the merge driver directly and enter the chain above
+		// them, so compile is only ever called on them at the driver
+		// position.
+		return cons, nil
 
 	default:
-		return nil, fmt.Errorf("exec: cannot compile node %T", n)
+		return consumer{}, fmt.Errorf("exec: cannot compile node %T", n)
 	}
 }
 
-// scanAll executes a full rescan of a nestloop inner input, charging the
-// appropriate IO and CPU (§2.1: the inner of a nestloop pipelines within
-// the fragment, re-read for every outer tuple).
-func (fr *fragRun) scanAll(sc *slaveCtx, n plan.Node, emit func(*slaveCtx, storage.Tuple) error) error {
+// compileFilter wraps cons with a leaf qualification. Survivors are
+// gathered into a scratch batch; the predicate itself is uncharged (the
+// per-tuple scan CPU of §3 covers qualification), so batching here
+// defers no clock work.
+func (fr *fragRun) compileFilter(filter expr.Expr, cons consumer) consumer {
+	pred := expr.CompilePred(filter)
+	if pred == nil {
+		return cons
+	}
+	return consumer{retains: cons.retains, blocking: cons.blocking, proc: func(sc *slaveCtx, ts []storage.Tuple) error {
+		bp := sc.getBatch()
+		kept, err := expr.FilterInto(pred, ts, *bp)
+		if err == nil && len(kept) > 0 {
+			err = cons.proc(sc, kept)
+		}
+		*bp = kept[:0]
+		sc.putBatch(bp)
+		return err
+	}}
+}
+
+// nestLoopBatch joins one batch of outer tuples against the inner input
+// (§2.1: the inner of a nestloop pipelines within the fragment, re-read
+// for every outer tuple). Join candidates are built in the operator's
+// arena and rolled back on a predicate miss, so only emitted tuples for
+// retaining consumers allocate.
+func (fr *fragRun) nestLoopBatch(sc *slaveCtx, ots []storage.Tuple, rescan rescanFn, pred expr.Pred, slot int, cons consumer, rescanCPU, emitCPU float64) error {
+	bp := sc.getBatch()
+	out := *bp
+	limit := fr.emitLimit(cons)
+	flush := func() error {
+		if len(out) == 0 {
+			return nil
+		}
+		err := cons.proc(sc, out)
+		out = out[:0]
+		if !cons.retains {
+			sc.arenaReset(slot)
+		}
+		return err
+	}
+	var err error
+	for i := range ots {
+		ot := ots[i]
+		sc.chargeCPU(rescanCPU)
+		err = rescan(sc, flush, func(it storage.Tuple) error {
+			mark := sc.arenaMark(slot)
+			cand := sc.arenaConcat(slot, ot, it)
+			if pred != nil {
+				ok, perr := pred(cand)
+				if perr != nil {
+					return perr
+				}
+				if !ok {
+					sc.arenaTrunc(slot, mark)
+					return nil
+				}
+			}
+			sc.chargeCPU(emitCPU)
+			if cons.retains {
+				sc.arenaTrunc(slot, mark)
+				out = append(out, ot.Concat(it))
+			} else {
+				out = append(out, cand)
+			}
+			if len(out) >= limit {
+				return flush()
+			}
+			return nil
+		})
+		if err != nil {
+			break
+		}
+	}
+	if ferr := flush(); err == nil {
+		err = ferr
+	}
+	*bp = out[:0]
+	sc.putBatch(bp)
+	return err
+}
+
+// rescanFn executes one full scan of a nestloop inner input. beforeIO
+// runs ahead of every blocking disk wait so the caller can flush its
+// pending output batch (delivering downstream clock charges) before the
+// slave's CPU debt is slept off; emit receives each surviving inner
+// tuple.
+type rescanFn func(sc *slaveCtx, beforeIO func() error, emit func(storage.Tuple) error) error
+
+// compileRescan builds the inner-rescan executor of a nestloop, hoisting
+// per-scan constants out of the per-outer-tuple path.
+func (fr *fragRun) compileRescan(n plan.Node) (rescanFn, error) {
 	switch x := n.(type) {
 	case *plan.SeqScan:
-		perTuple := fr.eng.Params.TupleCPU(x.Rel.Stats().AvgTupleSize)
-		for p := int64(0); p < x.Rel.NPages(); p++ {
-			tuples, err := fr.eng.Store.ReadPage(x.Rel, p)
-			if err != nil {
-				return err
-			}
-			sc.chargeCPU(perTuple * float64(len(tuples)))
-			for _, t := range tuples {
-				ok, err := expr.Qualifies(x.Filter, t)
+		rel := x.Rel
+		pred := expr.CompilePred(x.Filter)
+		perTuple := fr.eng.Params.TupleCPU(rel.Stats().AvgTupleSize)
+		return func(sc *slaveCtx, beforeIO func() error, emit func(storage.Tuple) error) error {
+			for p := int64(0); p < rel.NPages(); p++ {
+				if err := beforeIO(); err != nil {
+					return err
+				}
+				sc.flushCPU()
+				tuples, err := fr.eng.Store.ReadPage(rel, p)
 				if err != nil {
 					return err
 				}
-				if ok {
-					if err := emit(sc, t); err != nil {
+				sc.chargeCPU(perTuple * float64(len(tuples)))
+				for i := range tuples {
+					if pred != nil {
+						ok, err := pred(tuples[i])
+						if err != nil {
+							return err
+						}
+						if !ok {
+							continue
+						}
+					}
+					if err := emit(tuples[i]); err != nil {
 						return err
 					}
 				}
 			}
-		}
-		return nil
+			return nil
+		}, nil
 
 	case *plan.IndexScan:
-		return fr.indexVisit(sc, x, x.Lo, x.Hi, emit)
+		rel := x.Rel
+		tree := x.Index.Tree
+		lo, hi := x.Lo, x.Hi
+		pred := expr.CompilePred(x.Filter)
+		perTuple := fr.eng.Params.TupleCPU(rel.Stats().AvgTupleSize) + fr.eng.Params.IndexProbeCPU
+		return func(sc *slaveCtx, beforeIO func() error, emit func(storage.Tuple) error) error {
+			var visitErr error
+			tree.Visit(lo, hi, func(_ int32, tid storage.TID) bool {
+				if visitErr = beforeIO(); visitErr != nil {
+					return false
+				}
+				sc.flushCPU()
+				t, err := fr.eng.Store.ReadTID(rel, tid)
+				if err != nil {
+					visitErr = err
+					return false
+				}
+				sc.chargeCPU(perTuple)
+				if pred != nil {
+					ok, err := pred(t)
+					if err != nil {
+						visitErr = err
+						return false
+					}
+					if !ok {
+						return true
+					}
+				}
+				if err := emit(t); err != nil {
+					visitErr = err
+					return false
+				}
+				return true
+			})
+			return visitErr
+		}, nil
 
 	case *plan.FragScan:
-		temp := fr.temps[x.Frag]
-		if temp == nil {
-			return fmt.Errorf("exec: temp for fragment f%d not materialized", x.Frag.ID)
-		}
 		readCPU := fr.eng.Params.TempReadCPU
-		for _, t := range temp.Tuples() {
-			sc.chargeCPU(readCPU)
-			if err := emit(sc, t); err != nil {
-				return err
+		frag := x.Frag
+		return func(sc *slaveCtx, beforeIO func() error, emit func(storage.Tuple) error) error {
+			temp := fr.temps[frag]
+			if temp == nil {
+				return fmt.Errorf("exec: temp for fragment f%d not materialized", frag.ID)
 			}
-		}
-		return nil
+			tuples := temp.Tuples()
+			sc.chargeCPU(readCPU * float64(len(tuples)))
+			for i := range tuples {
+				if err := emit(tuples[i]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
 
 	default:
-		return fmt.Errorf("exec: node %T is not rescannable", n)
+		return nil, fmt.Errorf("exec: node %T is not rescannable", n)
 	}
-}
-
-// indexVisit walks an index scan over [lo, hi], fetching each pointed-to
-// heap tuple with a (random) page read, applying the residual filter and
-// emitting matches.
-func (fr *fragRun) indexVisit(sc *slaveCtx, x *plan.IndexScan, lo, hi int32, emit func(*slaveCtx, storage.Tuple) error) error {
-	perTuple := fr.eng.Params.TupleCPU(x.Rel.Stats().AvgTupleSize) + fr.eng.Params.IndexProbeCPU
-	var visitErr error
-	x.Index.Tree.Visit(lo, hi, func(_ int32, tid storage.TID) bool {
-		t, err := fr.eng.Store.ReadTID(x.Rel, tid)
-		if err != nil {
-			visitErr = err
-			return false
-		}
-		sc.chargeCPU(perTuple)
-		ok, err := expr.Qualifies(x.Filter, t)
-		if err != nil {
-			visitErr = err
-			return false
-		}
-		if ok {
-			if err := emit(sc, t); err != nil {
-				visitErr = err
-				return false
-			}
-		}
-		return true
-	})
-	return visitErr
 }
 
 // driverInfo resolves the fragment's driving leaf for the partitioners.

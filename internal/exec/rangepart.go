@@ -150,10 +150,27 @@ func (d *rangeDriver) run(sc *slaveCtx) error {
 		return fmt.Errorf("exec: range slave got assignment %T", sc.state.assign)
 	}
 	tree := d.scan.Index.Tree
+	rel := d.scan.Rel
+	perTuple := d.fr.eng.Params.TupleCPU(rel.Stats().AvgTupleSize) + d.fr.eng.Params.IndexProbeCPU
 	// lastPage tracks the heap page under this slave's hand: consecutive
 	// TIDs on the same page (the common case for a clustered index, where
 	// key order equals heap order) cost one IO, not one per tuple.
 	lastPage := int64(-1)
+	bsz := d.fr.eng.batchSize()
+	bp := sc.getBatch()
+	batch := *bp
+	defer func() {
+		*bp = batch
+		sc.putBatch(bp)
+	}()
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := d.fr.processBatch(sc, batch)
+		batch = batch[:0]
+		return err
+	}
 	for {
 		if len(a.intervals) == 0 {
 			return nil
@@ -180,9 +197,36 @@ func (d *rangeDriver) run(sc *slaveCtx) error {
 			continue
 		}
 		for _, tid := range tids {
-			if err := d.processTID(sc, tid, &lastPage); err != nil {
+			var t storage.Tuple
+			var err error
+			if tid.Page == lastPage {
+				// The heap page is already at hand; no further IO.
+				t, err = rel.TupleAt(tid)
+			} else {
+				// Drain the pending batch and CPU debt before the random
+				// read so the clock at the IO point is batch-independent.
+				if err = flush(); err != nil {
+					return err
+				}
+				sc.flushCPU()
+				t, err = d.fr.eng.Store.ReadTID(rel, tid)
+				lastPage = tid.Page
+			}
+			if err != nil {
 				return err
 			}
+			sc.chargeCPU(perTuple)
+			batch = append(batch, t)
+			if len(batch) >= bsz {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+		// The group is complete; deliver it before the checkpoint so an
+		// adjustment never pauses with undelivered tuples.
+		if err := flush(); err != nil {
+			return err
 		}
 		// Advance past the processed group.
 		if groupKey >= iv.Hi {
@@ -200,21 +244,4 @@ func (d *rangeDriver) run(sc *slaveCtx) error {
 		}
 		a = na
 	}
-}
-
-func (d *rangeDriver) processTID(sc *slaveCtx, tid storage.TID, lastPage *int64) error {
-	var t storage.Tuple
-	var err error
-	if tid.Page == *lastPage {
-		// The heap page is already at hand; no further IO.
-		t, err = d.scan.Rel.TupleAt(tid)
-	} else {
-		t, err = d.fr.eng.Store.ReadTID(d.scan.Rel, tid)
-		*lastPage = tid.Page
-	}
-	if err != nil {
-		return err
-	}
-	sc.chargeCPU(d.fr.eng.Params.TupleCPU(d.scan.Rel.Stats().AvgTupleSize) + d.fr.eng.Params.IndexProbeCPU)
-	return d.fr.process(sc, t)
 }

@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"xprs/internal/core"
-	"xprs/internal/cost"
 	"xprs/internal/storage"
 )
 
@@ -259,16 +259,78 @@ func (rt *runningTask) Degree() int {
 }
 
 // slaveCtx is the per-slave execution context: CPU accounting, output
-// buffering, and the slave side of the adjustment protocol.
+// buffering, batch scratch space, and the slave side of the adjustment
+// protocol.
 type slaveCtx struct {
 	rt    *runningTask
 	state *slaveState
 
-	cpuDebt float64 // accumulated CPU seconds not yet slept
+	// cpuDebtPs is accumulated CPU picoseconds not yet slept. Debt is
+	// integral so that total slept time is a pure function of the total
+	// charge, however the charges were grouped into batches: flushes
+	// sleep whole nanoseconds and carry the sub-nanosecond remainder.
+	cpuDebtPs int64
 	outBuf  []storage.Tuple
 	// aggLocal is this slave's private accumulator table when the
 	// fragment root is an Agg (two-phase parallel aggregation).
 	aggLocal map[int32][]int64
+	// aggSlab backs aggLocal's accumulators: groups slice out of shared
+	// chunks instead of allocating per group. Full chunks are simply
+	// abandoned to the live accumulators and a fresh one started.
+	aggSlab []int64
+	// arenas are per-emitting-operator value arenas (slot indexes are
+	// assigned at pipeline compile time). Compiled closures are shared
+	// by every slave of the fragment, so their mutable scratch lives
+	// here.
+	arenas [][]storage.Value
+	// pageBuf is the reusable tuple buffer for generator-backed page
+	// reads; physical pages come from the relation's decode cache
+	// instead.
+	pageBuf []storage.Tuple
+}
+
+// getBatch and putBatch hand batch scratch buffers through the engine
+// pool.
+func (sc *slaveCtx) getBatch() *[]storage.Tuple  { return sc.rt.eng.getBatch() }
+func (sc *slaveCtx) putBatch(b *[]storage.Tuple) { sc.rt.eng.putBatch(b) }
+
+// arenaMark returns the current fill of arena slot; arenaTrunc rolls it
+// back to a mark; arenaReset empties it. A reset (or trunc) is only
+// legal once no live tuple references the region — i.e. after the batch
+// built from it has been fully consumed downstream.
+func (sc *slaveCtx) arenaMark(slot int) int {
+	if slot < len(sc.arenas) {
+		return len(sc.arenas[slot])
+	}
+	return 0
+}
+
+func (sc *slaveCtx) arenaTrunc(slot, mark int) {
+	if slot < len(sc.arenas) {
+		sc.arenas[slot] = sc.arenas[slot][:mark]
+	}
+}
+
+func (sc *slaveCtx) arenaReset(slot int) {
+	if slot < len(sc.arenas) {
+		sc.arenas[slot] = sc.arenas[slot][:0]
+	}
+}
+
+// arenaConcat builds the concatenation of l and r with its Vals sliced
+// out of the slot's arena. If the arena grows mid-batch the old backing
+// stays alive through the tuples already built from it, so previously
+// returned tuples remain valid until the next reset.
+func (sc *slaveCtx) arenaConcat(slot int, l, r storage.Tuple) storage.Tuple {
+	for len(sc.arenas) <= slot {
+		sc.arenas = append(sc.arenas, nil)
+	}
+	a := sc.arenas[slot]
+	start := len(a)
+	a = append(a, l.Vals...)
+	a = append(a, r.Vals...)
+	sc.arenas[slot] = a
+	return storage.Tuple{Vals: a[start:len(a):len(a)]}
 }
 
 // checkpoint is called by drivers at safe pause points (page boundaries
@@ -322,24 +384,43 @@ func (sc *slaveCtx) pausePending() bool {
 
 // chargeCPU accrues seconds of CPU work, sleeping when the debt passes
 // the engine's charge quantum (batching keeps the event count low).
+// picosPerSecond converts charge amounts to the integral debt unit.
+const picosPerSecond = 1e12
+
 func (sc *slaveCtx) chargeCPU(seconds float64) {
-	sc.cpuDebt += seconds
-	if sc.cpuDebt >= sc.rt.eng.cpuQuantum {
+	sc.addCPUDebt(int64(seconds*picosPerSecond + 0.5))
+}
+
+// chargeCPUPer charges a per-tuple cost n times. The unit is quantized
+// before multiplying, so the total is identical however the n tuples
+// were split into batches.
+func (sc *slaveCtx) chargeCPUPer(seconds float64, n int) {
+	sc.addCPUDebt(int64(seconds*picosPerSecond+0.5) * int64(n))
+}
+
+func (sc *slaveCtx) addCPUDebt(ps int64) {
+	sc.cpuDebtPs += ps
+	if sc.cpuDebtPs >= sc.rt.eng.cpuQuantumPs {
 		sc.flushCPU()
 	}
 }
 
 func (sc *slaveCtx) flushCPU() {
-	if sc.cpuDebt > 0 {
-		sc.rt.eng.Clock.Sleep(cost.Seconds(sc.cpuDebt))
-		sc.cpuDebt = 0
+	if ns := sc.cpuDebtPs / 1000; ns > 0 {
+		sc.cpuDebtPs -= ns * 1000
+		sc.rt.eng.Clock.Sleep(time.Duration(ns))
 	}
 }
 
-// buffer queues an output tuple, flushing to the shared temp in batches.
-func (sc *slaveCtx) buffer(t storage.Tuple) {
-	sc.outBuf = append(sc.outBuf, t)
-	if len(sc.outBuf) >= 256 {
+// bufferBatch queues a batch of output tuples, flushing to the shared
+// temp one lock round-trip per batch. The buffer is reused after each
+// flush (Temp.Append copies the tuple structs out).
+func (sc *slaveCtx) bufferBatch(ts []storage.Tuple) {
+	if sc.outBuf == nil {
+		sc.outBuf = make([]storage.Tuple, 0, sc.rt.eng.batchSize())
+	}
+	sc.outBuf = append(sc.outBuf, ts...)
+	if len(sc.outBuf) >= sc.rt.eng.batchSize() {
 		sc.flushOut()
 	}
 }
@@ -351,7 +432,7 @@ func (sc *slaveCtx) flushOut() {
 	if sc.rt.fr.outTemp != nil {
 		sc.rt.fr.outTemp.Append(sc.outBuf)
 	}
-	sc.outBuf = nil
+	sc.outBuf = sc.outBuf[:0]
 }
 
 // flushAll drains all buffers at slave exit, merging aggregation

@@ -184,11 +184,33 @@ func (h *HashTable) Insert(t storage.Tuple) error {
 	return nil
 }
 
-// Probe returns the build tuples matching key. The returned slice is
-// read-only and only valid after the build fragment completed.
-func (h *HashTable) Probe(key int32) []storage.Tuple {
+// InsertBatch adds a batch of build tuples under one lock round-trip.
+// Column validation happens before the lock so the table never holds a
+// partial batch on error.
+func (h *HashTable) InsertBatch(ts []storage.Tuple) error {
+	for i := range ts {
+		if h.Col >= len(ts[i].Vals) {
+			return fmt.Errorf("exec: hash column %d out of range", h.Col)
+		}
+	}
+	if len(ts) == 0 {
+		return nil
+	}
 	h.mu.Lock()
-	defer h.mu.Unlock()
+	for i := range ts {
+		k := ts[i].Vals[h.Col].Int
+		h.buckets[k] = append(h.buckets[k], ts[i])
+	}
+	h.n += len(ts)
+	h.mu.Unlock()
+	return nil
+}
+
+// Probe returns the build tuples matching key. It takes no lock: probes
+// only run after the building fragment completed, and that completion
+// is published through the master's mailbox, which orders every insert
+// before any probe.
+func (h *HashTable) Probe(key int32) []storage.Tuple {
 	return h.buckets[key]
 }
 

@@ -49,6 +49,10 @@ type Relation struct {
 	// exactly one of the two storage forms is populated
 	phys [][]byte  // physical: one 8 KB image per page
 	gen  Generator // synthetic: deterministic row source
+	// decoded caches the tuples of every physical page, built once at
+	// Finalize. Pages of a sealed relation are immutable, so readers
+	// share these slices; they must never be written through.
+	decoded [][]Tuple
 	// synthetic layout
 	rowsPerPage int
 	nrows       int64
@@ -76,8 +80,10 @@ func (r *Relation) Stats() RelStats { return r.stats }
 // Synthetic reports whether the relation is generator-backed.
 func (r *Relation) Synthetic() bool { return r.gen != nil }
 
-// PageTuples decodes all tuples of page p. It performs no IO accounting;
+// PageTuples returns all tuples of page p. It performs no IO accounting;
 // callers go through Store.ReadPage to charge the disk model first.
+// Physical pages come from the relation's decode cache: the returned
+// slice is shared and read-only.
 func (r *Relation) PageTuples(p int64) ([]Tuple, error) {
 	if p < 0 || p >= r.NPages() {
 		return nil, fmt.Errorf("storage: page %d out of range [0,%d) in %q", p, r.NPages(), r.Name)
@@ -94,7 +100,33 @@ func (r *Relation) PageTuples(p int64) ([]Tuple, error) {
 		}
 		return out, nil
 	}
+	if r.decoded != nil {
+		return r.decoded[p], nil
+	}
 	return decodePage(r.Schema, r.phys[p])
+}
+
+// PageTuplesInto returns all tuples of page p, materializing
+// generator-backed pages into buf (which should have length 0) instead
+// of a fresh slice. Physical pages ignore buf and return the shared
+// decode cache. Either way the result is read-only, and for synthetic
+// relations it is valid only until buf's next reuse.
+func (r *Relation) PageTuplesInto(p int64, buf []Tuple) ([]Tuple, error) {
+	if r.gen == nil {
+		return r.PageTuples(p)
+	}
+	if p < 0 || p >= r.NPages() {
+		return nil, fmt.Errorf("storage: page %d out of range [0,%d) in %q", p, r.NPages(), r.Name)
+	}
+	lo := p * int64(r.rowsPerPage)
+	hi := lo + int64(r.rowsPerPage)
+	if hi > r.nrows {
+		hi = r.nrows
+	}
+	for i := lo; i < hi; i++ {
+		buf = append(buf, r.gen(i))
+	}
+	return buf, nil
 }
 
 // TupleAt returns the tuple addressed by a TID.
@@ -157,10 +189,25 @@ func (b *Builder) flush() {
 	}
 }
 
-// Finalize seals the relation and computes its statistics.
+// Finalize seals the relation and computes its statistics. Sealing
+// decodes every page once into the relation's shared tuple cache, so
+// scans (and nestloop rescans in particular) stop paying a fresh decode
+// per page read.
 func (b *Builder) Finalize() *Relation {
 	b.flush()
 	b.rel.stats = b.agg.finish(int64(len(b.rel.phys)))
+	dec := make([][]Tuple, len(b.rel.phys))
+	for p := range b.rel.phys {
+		ts, err := decodePage(b.rel.Schema, b.rel.phys[p])
+		if err != nil {
+			// A page the builder itself wrote cannot be corrupt; if it
+			// somehow is, leave the cache off and let readers surface the
+			// decode error.
+			return b.rel
+		}
+		dec[p] = ts
+	}
+	b.rel.decoded = dec
 	return b.rel
 }
 

@@ -3,25 +3,43 @@ package storage
 import (
 	"container/list"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xprs/internal/diskmodel"
 	"xprs/internal/vclock"
 )
 
-// BufferPool tracks page residency with LRU replacement. Page contents
-// always live in the Relation (this is a simulation of IO, not of memory
-// pressure on data); the pool decides whether a read is charged to the
-// disk model. A zero-capacity pool disables caching, which is how the
-// §3 experiments run so that every scan pays its IO.
+// BufferPool tracks page residency with LRU replacement, sharded by
+// page-key hash so parallel scan slaves do not serialize on a single
+// mutex. Page contents always live in the Relation (this is a simulation
+// of IO, not of memory pressure on data); the pool decides whether a
+// read is charged to the disk model. A zero-capacity pool disables
+// caching, which is how the §3 experiments run so that every scan pays
+// its IO.
+//
+// Each shard runs an independent LRU over its slice of the capacity,
+// which approximates global LRU under hashing. Small pools stay at one
+// shard so eviction order is exactly global LRU (tests and experiments
+// with tiny capacities depend on that); sharding kicks in only when the
+// per-shard capacity stays meaningful.
 type BufferPool struct {
-	mu       sync.Mutex
-	capacity int
-	lru      *list.List // front = most recent; values are pageKey
-	pages    map[pageKey]*list.Element
+	shards []poolShard
+	mask   uint64
 
-	hits, misses int64
+	hits, misses atomic.Int64
+}
+
+// poolShard is one independently locked LRU. The trailing pad keeps
+// adjacent shards off one cache line.
+type poolShard struct {
+	mu    sync.Mutex
+	cap   int
+	lru   *list.List // front = most recent; values are pageKey
+	pages map[pageKey]*list.Element
+	_     [64]byte
 }
 
 type pageKey struct {
@@ -29,57 +47,107 @@ type pageKey struct {
 	page int64
 }
 
+// minShardCapacity is the smallest per-shard capacity worth splitting
+// into: below it, hash imbalance would make eviction behavior diverge
+// too far from global LRU.
+const minShardCapacity = 8
+
+// poolShardCount picks the shard count: the largest power of two that
+// is at most GOMAXPROCS and leaves every shard at least
+// minShardCapacity pages.
+func poolShardCount(capacity int) int {
+	n := 1
+	for n*2 <= runtime.GOMAXPROCS(0) && capacity/(n*2) >= minShardCapacity {
+		n *= 2
+	}
+	return n
+}
+
 // NewBufferPool creates a pool holding up to capacity pages.
 func NewBufferPool(capacity int) *BufferPool {
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &BufferPool{
-		capacity: capacity,
-		lru:      list.New(),
-		pages:    make(map[pageKey]*list.Element),
+	n := 1
+	if capacity > 0 {
+		n = poolShardCount(capacity)
 	}
+	bp := &BufferPool{shards: make([]poolShard, n), mask: uint64(n - 1)}
+	for i := range bp.shards {
+		sh := &bp.shards[i]
+		sh.cap = capacity / n
+		if i < capacity%n {
+			sh.cap++
+		}
+		sh.lru = list.New()
+		sh.pages = make(map[pageKey]*list.Element)
+	}
+	return bp
+}
+
+// hash mixes a page key into a shard index (splitmix64-style finalizer;
+// rel and page alone are both sequential, so raw bits would pile onto a
+// few shards).
+func (k pageKey) hash() uint64 {
+	x := uint64(k.page)*0x9E3779B97F4A7C15 ^ uint64(uint32(k.rel))*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
 }
 
 // touch records an access; it returns true on a hit.
 func (bp *BufferPool) touch(k pageKey) bool {
-	if bp.capacity == 0 {
-		bp.mu.Lock()
-		bp.misses++
-		bp.mu.Unlock()
+	sh := &bp.shards[k.hash()&bp.mask]
+	if sh.cap == 0 {
+		// Caching disabled: count the miss without taking any lock.
+		bp.misses.Add(1)
 		return false
 	}
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	if el, ok := bp.pages[k]; ok {
-		bp.lru.MoveToFront(el)
-		bp.hits++
+	sh.mu.Lock()
+	if el, ok := sh.pages[k]; ok {
+		sh.lru.MoveToFront(el)
+		sh.mu.Unlock()
+		bp.hits.Add(1)
 		return true
 	}
-	bp.misses++
-	el := bp.lru.PushFront(k)
-	bp.pages[k] = el
-	for bp.lru.Len() > bp.capacity {
-		old := bp.lru.Back()
-		bp.lru.Remove(old)
-		delete(bp.pages, old.Value.(pageKey))
+	if sh.lru.Len() >= sh.cap {
+		// Recycle the evicted element so steady-state misses allocate
+		// nothing.
+		el := sh.lru.Back()
+		delete(sh.pages, el.Value.(pageKey))
+		el.Value = k
+		sh.lru.MoveToFront(el)
+		sh.pages[k] = el
+	} else {
+		sh.pages[k] = sh.lru.PushFront(k)
 	}
+	sh.mu.Unlock()
+	bp.misses.Add(1)
 	return false
+}
+
+// Touch records an access to page p of relation rel, returning true on
+// a hit. It is the public probe used by benchmarks and diagnostics; the
+// store's read paths go through it implicitly.
+func (bp *BufferPool) Touch(rel int32, page int64) bool {
+	return bp.touch(pageKey{rel: rel, page: page})
 }
 
 // Stats returns hit and miss counts.
 func (bp *BufferPool) Stats() (hits, misses int64) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.hits, bp.misses
+	return bp.hits.Load(), bp.misses.Load()
 }
 
 // Invalidate drops all cached residency (e.g. between experiments).
 func (bp *BufferPool) Invalidate() {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.lru.Init()
-	bp.pages = make(map[pageKey]*list.Element)
+	for i := range bp.shards {
+		sh := &bp.shards[i]
+		sh.mu.Lock()
+		sh.lru.Init()
+		sh.pages = make(map[pageKey]*list.Element)
+		sh.mu.Unlock()
+	}
 }
 
 // Store is the shared storage manager: the catalog of relations plus the

@@ -93,6 +93,10 @@ const (
 	Bushy    = opt.Bushy
 )
 
+// DefaultBatchSize is the executor's tuples-per-batch granularity when
+// Config.BatchSize is zero.
+const DefaultBatchSize = exec.DefaultBatchSize
+
 // Config sizes the simulated machine.
 type Config struct {
 	// NProcs is the number of processors the scheduler plans for and the
@@ -104,6 +108,10 @@ type Config struct {
 	// BufferPoolPages sets page-cache capacity; 0 disables caching,
 	// which is how the §3 experiments run.
 	BufferPoolPages int
+	// BatchSize is the executor's tuples-per-batch granularity; 0 means
+	// exec.DefaultBatchSize. Results and virtual-clock totals do not
+	// depend on it.
+	BatchSize int
 }
 
 // DefaultConfig is the paper's machine: 8 processors, 4 disks, no cache.
@@ -137,15 +145,26 @@ func New(cfg Config) *System {
 	disks := diskmodel.New(clock, cfg.Disk)
 	store := storage.NewStore(clock, disks, cfg.BufferPoolPages)
 	params := cost.DefaultParams(cfg.Disk, cfg.NProcs)
+	engine := exec.New(clock, store, params)
+	engine.BatchSize = cfg.BatchSize
 	return &System{
 		cfg:     cfg,
 		clock:   clock,
 		disks:   disks,
 		store:   store,
-		engine:  exec.New(clock, store, params),
+		engine:  engine,
 		params:  params,
 		indexes: make(map[*storage.Relation]map[int]*btree.Index),
 	}
+}
+
+// BatchSize returns the executor's effective tuples-per-batch
+// granularity.
+func (s *System) BatchSize() int {
+	if s.cfg.BatchSize > 0 {
+		return s.cfg.BatchSize
+	}
+	return exec.DefaultBatchSize
 }
 
 // Params returns the calibrated cost model.
