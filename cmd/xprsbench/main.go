@@ -10,6 +10,8 @@
 //	xprsbench -fig table1       # §3 task-type IO rates
 //	xprsbench -fig sec4         # §4 optimizer comparison
 //	xprsbench -fig ablations    # pairing / SJF ablations
+//	xprsbench -fig pipeline     # batch-pipeline wall-clock benchmark
+//	xprsbench -fig join         # join/sort kernel benchmark -> BENCH_join.json
 //	xprsbench -fig all          # everything
 //
 // Flags -seed, -procs and -disks size the experiment.
@@ -25,13 +27,15 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure/table to regenerate: 3, 4, 7, table1, balance-seq, sec4, stream, ablations, pipeline, all")
+	fig := flag.String("fig", "all", "which figure/table to regenerate: 3, 4, 7, table1, balance-seq, sec4, stream, ablations, pipeline, join, all")
 	seed := flag.Int64("seed", 1992, "workload seed")
 	procs := flag.Int("procs", 8, "number of processors")
 	disks := flag.Int("disks", 4, "number of disks")
 	batch := flag.Int("batch", 0, "executor batch size (0 = default)")
 	iters := flag.Int("iters", 5, "iterations for the pipeline benchmark")
 	out := flag.String("out", "BENCH_pipeline.json", "output file for the pipeline benchmark")
+	joinIters := flag.Int("joiniters", 40, "iterations for the join-kernel benchmark")
+	joinOut := flag.String("joinout", "BENCH_join.json", "output file for the join-kernel benchmark")
 	flag.Parse()
 
 	cfg := xprs.DefaultConfig()
@@ -130,6 +134,23 @@ func main() {
 		}
 		fmt.Printf("pipeline: %.0f tuples/s, %.0f ns/op, %.0f allocs/op, %.0f B/op (batch=%d) -> %s\n",
 			res.TuplesPerSec, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, eff, *out)
+		return nil
+	})
+	run("join", func() error {
+		res, err := xprs.MeasureJoin(cfg, *joinIters)
+		if err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*joinOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("join: build+probe %.2fx (%.0f -> %.0f ns), sort %.2fx (%.0f -> %.0f ns) -> %s\n",
+			res.BuildProbeSpeedup, res.BaselineBuildProbeNs, res.KernelBuildProbeNs,
+			res.SortSpeedup, res.BaselineSortNs, res.KernelSortNs, *joinOut)
 		return nil
 	})
 }

@@ -64,6 +64,12 @@ func EstimateFragment(p Params, f *plan.Fragment, inputs map[int]FragEstimate) (
 	switch f.Out {
 	case plan.HashOut:
 		ne.cpu += ne.rows * p.HashInsertCPU
+		// Stamp the build-side partition-count hint from the estimated
+		// cardinality; the executor falls back to its default when no
+		// estimate ran.
+		if f.HashParts == 0 {
+			f.HashParts = plan.SuggestHashParts(ne.rows)
+		}
 		// Hash table: tuples plus per-entry bucket overhead.
 		mem = ne.rows * (ne.rowSize + 48)
 	case plan.SortedOut:

@@ -2,7 +2,7 @@ package exec
 
 import (
 	"math"
-	"sort"
+	"slices"
 	"sync"
 
 	"xprs/internal/plan"
@@ -103,7 +103,7 @@ func (st *aggState) emit(out *Temp) int {
 	for k := range st.groups {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	slices.Sort(keys)
 	ncols := len(st.funcs)
 	if st.groupCol >= 0 {
 		ncols++

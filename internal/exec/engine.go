@@ -2,7 +2,7 @@ package exec
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -33,6 +33,13 @@ type Engine struct {
 	// are independent of the value — it is purely a wall-clock
 	// efficiency knob (and a correctness-test lever).
 	BatchSize int
+
+	// HashPartitions overrides the build-side partition count of every
+	// hash table; 0 defers to the per-fragment hint (or
+	// DefaultHashPartitions). Like BatchSize, it is purely a wall-clock
+	// knob: results, virtual-clock totals and disk statistics are
+	// independent of the value.
+	HashPartitions int
 
 	// cpuQuantumPs batches per-tuple CPU charges into clock sleeps
 	// (picoseconds); purely a simulation-efficiency knob.
@@ -66,8 +73,14 @@ func (e *Engine) getBatch() *[]storage.Tuple {
 	return &b
 }
 
-// putBatch returns a batch buffer to the pool.
+// putBatch returns a batch buffer to the pool. Buffers whose capacity
+// fell below the current batch size (possible after a mid-run BatchSize
+// change) are dropped instead of re-pooled: getBatch would reject them
+// on every Get, so re-pooling would make the pool churn forever.
 func (e *Engine) putBatch(b *[]storage.Tuple) {
+	if cap(*b) < e.batchSize() {
+		return
+	}
 	*b = (*b)[:0]
 	e.batchPool.Put(b)
 }
@@ -226,7 +239,7 @@ func (e *Engine) Run(specs []TaskSpec, policy core.Policy, opts core.Options) (*
 	for id := range byID {
 		allIDs = append(allIDs, id)
 	}
-	sort.Ints(allIDs)
+	slices.Sort(allIDs)
 	for _, id := range allIDs {
 		s := byID[id]
 		if s.Arrival <= 0 {
@@ -294,7 +307,7 @@ func (e *Engine) Run(specs []TaskSpec, policy core.Policy, opts core.Options) (*
 		for id := range byID {
 			ids = append(ids, id)
 		}
-		sort.Ints(ids)
+		slices.Sort(ids)
 		for _, id := range ids {
 			if s := byID[id]; ready(s) {
 				submitted[id] = true

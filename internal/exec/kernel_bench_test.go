@@ -1,0 +1,171 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"xprs/internal/expr"
+	"xprs/internal/plan"
+	"xprs/internal/storage"
+)
+
+// Wall-clock microbenchmarks for the executor kernels, on the pipeline
+// benchmark's data shape (5 000-row build side, 30 000-row probe side,
+// keys i mod 9 000). `xprsbench -fig join` measures the same kernels
+// against replicas of their predecessors; these benchmarks track the
+// kernels alone so `go test -bench` catches regressions in isolation.
+
+const (
+	benchBuildRows = 5000
+	benchProbeRows = 30000
+	benchKeyMod    = 9000
+	benchBatch     = 1024
+)
+
+func benchSchema() storage.Schema {
+	return storage.NewSchema(
+		storage.Column{Name: "a", Typ: storage.Int4},
+		storage.Column{Name: "b", Typ: storage.Text},
+	)
+}
+
+func benchRows(n int, tag string) []storage.Tuple {
+	ts := make([]storage.Tuple, n)
+	for i := range ts {
+		ts[i] = storage.NewTuple(
+			storage.IntVal(int32(i)%benchKeyMod),
+			storage.TextVal(fmt.Sprintf("%s-%05d", tag, i)),
+		)
+	}
+	return ts
+}
+
+// BenchmarkHashTableBuildProbe is the full join-kernel cycle: batched
+// inserts through a private builder, seal, then fused batch probes.
+func BenchmarkHashTableBuildProbe(b *testing.B) {
+	schema := benchSchema()
+	build := benchRows(benchBuildRows, "build")
+	probe := benchRows(benchProbeRows, "probe")
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int64
+	for b.Loop() {
+		ht := NewHashTableP(schema, 0, DefaultHashPartitions, 1)
+		hb := ht.Builder()
+		hb.Reserve(len(build))
+		for lo := 0; lo < len(build); lo += benchBatch {
+			hi := min(lo+benchBatch, len(build))
+			if err := hb.InsertBatch(build[lo:hi]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		hb.Flush()
+		ht.Seal()
+		matches := make([][]storage.Tuple, 0, benchBatch)
+		for lo := 0; lo < len(probe); lo += benchBatch {
+			hi := min(lo+benchBatch, len(probe))
+			var err error
+			matches, err = ht.ProbeTupleBatch(probe[lo:hi], 0, matches[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, ms := range matches {
+				sink += int64(len(ms))
+			}
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkHashTableProbeBatch isolates the probe side on a sealed
+// table, through the two-step key-extraction API (expr.Int4Keys feeding
+// HashTable.ProbeBatch).
+func BenchmarkHashTableProbeBatch(b *testing.B) {
+	schema := benchSchema()
+	build := benchRows(benchBuildRows, "build")
+	probe := benchRows(benchProbeRows, "probe")
+	ht := NewHashTableP(schema, 0, DefaultHashPartitions, 1)
+	hb := ht.Builder()
+	hb.Reserve(len(build))
+	if err := hb.InsertBatch(build); err != nil {
+		b.Fatal(err)
+	}
+	hb.Flush()
+	ht.Seal()
+	keys := make([]int32, 0, benchBatch)
+	matches := make([][]storage.Tuple, 0, benchBatch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int64
+	for b.Loop() {
+		for lo := 0; lo < len(probe); lo += benchBatch {
+			hi := min(lo+benchBatch, len(probe))
+			var err error
+			keys, err = expr.Int4Keys(probe[lo:hi], 0, keys[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			matches = ht.ProbeBatch(keys, matches[:0])
+			for _, ms := range matches {
+				sink += int64(len(ms))
+			}
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkTempFinalize measures the parallel merge sort behind
+// Temp.Finalize, fed with executor-sized append runs.
+func BenchmarkTempFinalize(b *testing.B) {
+	schema := benchSchema()
+	rows := benchRows(benchProbeRows, "sort")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		temp := NewTemp(schema)
+		temp.SetSortProcs(1)
+		for lo := 0; lo < len(rows); lo += benchBatch {
+			hi := min(lo+benchBatch, len(rows))
+			temp.Append(rows[lo:hi])
+		}
+		temp.Finalize(0)
+	}
+}
+
+// BenchmarkAggEmit measures final-row emission from a populated
+// aggregation state (one group per distinct key, count+sum+min+max).
+func BenchmarkAggEmit(b *testing.B) {
+	a := &plan.Agg{GroupCol: 0, Funcs: []plan.AggFunc{
+		{Kind: plan.CountAll},
+		{Kind: plan.Sum, Col: 0},
+		{Kind: plan.Min, Col: 0},
+		{Kind: plan.Max, Col: 0},
+	}}
+	st := newAggState(a)
+	partial := make(map[int32][]int64, benchKeyMod)
+	for i := 0; i < benchProbeRows; i++ {
+		k := int32(i) % benchKeyMod
+		acc, ok := partial[k]
+		if !ok {
+			acc = initAccum(a.Funcs)
+			partial[k] = acc
+		}
+		fold(acc, a.Funcs, storage.NewTuple(storage.IntVal(k)))
+	}
+	st.mergeInto(partial)
+	outSchema := storage.NewSchema(
+		storage.Column{Name: "k", Typ: storage.Int4},
+		storage.Column{Name: "count", Typ: storage.Int4},
+		storage.Column{Name: "sum", Typ: storage.Int4},
+		storage.Column{Name: "min", Typ: storage.Int4},
+		storage.Column{Name: "max", Typ: storage.Int4},
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		out := NewTemp(outSchema)
+		if n := st.emit(out); n != benchKeyMod {
+			b.Fatalf("emitted %d groups, want %d", n, benchKeyMod)
+		}
+	}
+}

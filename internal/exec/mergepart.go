@@ -2,7 +2,7 @@ package exec
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"xprs/internal/btree"
 	"xprs/internal/plan"
@@ -150,7 +150,15 @@ func (d *mergeDriver) repartition(remaining []report, degree int) ([]assignment,
 			}
 		}
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].Lo < all[j].Lo })
+	slices.SortFunc(all, func(a, b btree.Interval) int {
+		switch {
+		case a.Lo < b.Lo:
+			return -1
+		case a.Lo > b.Lo:
+			return 1
+		}
+		return 0
+	})
 	// Split each remaining interval into degree quantile parts and deal
 	// them round-robin; with the common case of one big remaining
 	// interval this reproduces a balanced split.

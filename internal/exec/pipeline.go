@@ -69,6 +69,9 @@ type fragRun struct {
 	// nArenas counts the per-slave value-arena slots handed out to
 	// emitting operators at compile time.
 	nArenas int
+	// nProbes counts the per-slave probe-scratch slots handed out to
+	// hash joins at compile time.
+	nProbes int
 }
 
 // processBatch feeds one batch of driver tuples through the pipeline.
@@ -80,6 +83,13 @@ func (fr *fragRun) processBatch(sc *slaveCtx, ts []storage.Tuple) error {
 func (fr *fragRun) newArena() int {
 	s := fr.nArenas
 	fr.nArenas++
+	return s
+}
+
+// newProbe reserves a probe-scratch slot for one hash join.
+func (fr *fragRun) newProbe() int {
+	s := fr.nProbes
+	fr.nProbes++
 	return s
 }
 
@@ -99,9 +109,17 @@ func newFragRun(eng *Engine, frag *plan.Fragment, temps map[*plan.Fragment]*Temp
 	outSchema := frag.Root.OutSchema()
 	switch frag.Out {
 	case plan.HashOut:
-		fr.outHash = NewHashTable(outSchema, frag.HashCol)
+		parts := eng.HashPartitions
+		if parts <= 0 {
+			parts = frag.HashParts
+		}
+		if parts <= 0 {
+			parts = DefaultHashPartitions
+		}
+		fr.outHash = NewHashTableP(outSchema, frag.HashCol, parts, eng.Env.NProcs)
 	default:
 		fr.outTemp = NewTemp(outSchema)
+		fr.outTemp.sortProcs = eng.Env.NProcs
 	}
 	root, err := fr.compile(frag.Root, fr.compileSink(), true)
 	if err != nil {
@@ -123,6 +141,13 @@ func (fr *fragRun) finalize() {
 		cmps := fr.outTemp.Finalize(fr.frag.SortCol)
 		fr.eng.chargeMasterCPU(float64(cmps) * fr.eng.Params.SortCmpCPU)
 	}
+	if fr.outHash != nil {
+		// Seal before publication so every Probe runs lock-free against
+		// immutable partitions. The insert CPU was already charged per
+		// batch; sealing is wall-clock-only work and leaves the virtual
+		// clock untouched.
+		fr.outHash.Seal()
+	}
 }
 
 // compileSink builds the terminal consumer of the pipeline. Both sinks
@@ -133,7 +158,13 @@ func (fr *fragRun) compileSink() consumer {
 		insertCPU := fr.eng.Params.HashInsertCPU
 		return consumer{retains: true, proc: func(sc *slaveCtx, ts []storage.Tuple) error {
 			sc.chargeCPUPer(insertCPU, len(ts))
-			return fr.outHash.InsertBatch(ts)
+			// Each slave partitions into a private builder — no lock per
+			// batch; flushAll hands the buffers to the shared table once at
+			// slave exit.
+			if sc.hb == nil {
+				sc.hb = fr.outHash.Builder()
+			}
+			return sc.hb.InsertBatch(ts)
 		}}
 	}
 	return consumer{retains: true, proc: func(sc *slaveCtx, ts []storage.Tuple) error {
@@ -203,6 +234,7 @@ func (fr *fragRun) compile(n plan.Node, cons consumer, atRoot bool) (consumer, e
 		emitCPU := fr.eng.Params.EmitCPU
 		buildFrag := fs.Frag
 		slot := fr.newArena()
+		pslot := fr.newProbe()
 		limit := fr.emitLimit(cons)
 		probe := consumer{blocking: cons.blocking, proc: func(sc *slaveCtx, lts []storage.Tuple) error {
 			ht := fr.hashes[buildFrag]
@@ -210,17 +242,21 @@ func (fr *fragRun) compile(n plan.Node, cons consumer, atRoot bool) (consumer, e
 				return fmt.Errorf("exec: hash table for fragment f%d not built", buildFrag.ID)
 			}
 			sc.chargeCPUPer(probeCPU, len(lts))
+			// Resolve the whole batch of probe tuples up front: one fused
+			// lock-free pass extracts, hashes and walks with the seal check
+			// hoisted out of the loop.
+			ps := sc.probeScratch(pslot)
+			matches, err := ht.ProbeTupleBatch(lts, lcol, ps.matches[:0])
+			ps.matches = matches[:0]
+			if err != nil {
+				return err
+			}
 			bp := sc.getBatch()
 			out := *bp
-			var err error
 		probeLoop:
 			for i := range lts {
 				lt := lts[i]
-				if lcol >= len(lt.Vals) {
-					err = fmt.Errorf("exec: probe column %d out of range", lcol)
-					break
-				}
-				for _, bt := range ht.Probe(lt.Vals[lcol].Int) {
+				for _, bt := range matches[i] {
 					sc.chargeCPU(emitCPU)
 					if cons.retains {
 						out = append(out, lt.Concat(bt))

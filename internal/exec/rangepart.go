@@ -2,7 +2,7 @@ package exec
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"xprs/internal/btree"
 	"xprs/internal/plan"
@@ -88,7 +88,15 @@ func (d *rangeDriver) repartition(remaining []report, degree int) ([]assignment,
 // dealIntervals distributes intervals over k slaves with balanced index
 // key counts, splitting intervals where necessary.
 func dealIntervals(tree *btree.Tree, all []btree.Interval, k int) [][]btree.Interval {
-	sort.Slice(all, func(i, j int) bool { return all[i].Lo < all[j].Lo })
+	slices.SortFunc(all, func(a, b btree.Interval) int {
+		switch {
+		case a.Lo < b.Lo:
+			return -1
+		case a.Lo > b.Lo:
+			return 1
+		}
+		return 0
+	})
 	var total int64
 	for _, iv := range all {
 		total += tree.CountRange(iv.Lo, iv.Hi)

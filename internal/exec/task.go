@@ -2,7 +2,7 @@ package exec
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -170,7 +170,7 @@ func (rt *runningTask) adjust(newDegree int) error {
 		s.resumeCh = make(chan struct{})
 		participants = append(participants, s)
 	}
-	sort.Slice(participants, func(i, j int) bool { return participants[i].slot < participants[j].slot })
+	slices.SortFunc(participants, func(a, b *slaveState) int { return a.slot - b.slot })
 	rt.mu.Unlock()
 
 	// Phase 2: wait for every participant to report its progress (or
@@ -270,7 +270,7 @@ type slaveCtx struct {
 	// charge, however the charges were grouped into batches: flushes
 	// sleep whole nanoseconds and carry the sub-nanosecond remainder.
 	cpuDebtPs int64
-	outBuf  []storage.Tuple
+	outBuf    []storage.Tuple
 	// aggLocal is this slave's private accumulator table when the
 	// fragment root is an Agg (two-phase parallel aggregation).
 	aggLocal map[int32][]int64
@@ -287,6 +287,27 @@ type slaveCtx struct {
 	// reads; physical pages come from the relation's decode cache
 	// instead.
 	pageBuf []storage.Tuple
+	// hb is this slave's private hash-table builder when the fragment
+	// output is a hash table: batches partition without locking, and
+	// flushAll publishes the buffers at slave exit.
+	hb *Builder
+	// probes are per-hash-join probe scratch buffers (slot indexes are
+	// assigned at pipeline compile time, like arenas).
+	probes []probeScratch
+}
+
+// probeScratch is one hash join's per-slave batch-probe buffer.
+type probeScratch struct {
+	matches [][]storage.Tuple
+}
+
+// probeScratch returns the scratch of a probe slot, growing the table
+// on first use.
+func (sc *slaveCtx) probeScratch(slot int) *probeScratch {
+	for len(sc.probes) <= slot {
+		sc.probes = append(sc.probes, probeScratch{})
+	}
+	return &sc.probes[slot]
 }
 
 // getBatch and putBatch hand batch scratch buffers through the engine
@@ -441,6 +462,10 @@ func (sc *slaveCtx) flushAll() {
 	if sc.rt.fr.agg != nil && sc.aggLocal != nil {
 		sc.rt.fr.agg.mergeInto(sc.aggLocal)
 		sc.aggLocal = nil
+	}
+	if sc.hb != nil {
+		sc.hb.Flush()
+		sc.hb = nil
 	}
 	sc.flushOut()
 	sc.flushCPU()

@@ -13,7 +13,6 @@
 package exec
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 
@@ -29,13 +28,28 @@ type Temp struct {
 
 	mu     sync.Mutex
 	tuples []storage.Tuple
+	// runs records the end offset of every appended batch, so Finalize
+	// can align its parallel sort chunks to append boundaries.
+	runs []int
 	// sortedBy is the column the tuples are ordered on, or -1.
 	sortedBy int
+	// sortProcs bounds the goroutines Finalize may use; 0 or 1 sorts
+	// inline.
+	sortProcs int
 }
 
 // NewTemp creates an empty temp with the given schema.
 func NewTemp(schema storage.Schema) *Temp {
 	return &Temp{Schema: schema, sortedBy: -1}
+}
+
+// SetSortProcs bounds the goroutines Finalize may use. The executor
+// sets it from Env.NProcs when it materializes a fragment; benchmarks
+// set it directly. Any value yields the identical sorted order.
+func (t *Temp) SetSortProcs(p int) {
+	t.mu.Lock()
+	t.sortProcs = p
+	t.mu.Unlock()
 }
 
 // Append adds a batch of tuples (slave backends flush local buffers).
@@ -45,6 +59,7 @@ func (t *Temp) Append(batch []storage.Tuple) {
 	}
 	t.mu.Lock()
 	t.tuples = append(t.tuples, batch...)
+	t.runs = append(t.runs, len(t.tuples))
 	t.mu.Unlock()
 }
 
@@ -71,22 +86,28 @@ func (t *Temp) Tuples() []storage.Tuple {
 }
 
 // Finalize sorts the temp on col (-1 keeps arrival order) and seals it.
-// It returns the number of comparisons performed so the caller can
-// charge CPU for them.
+// The sort is the parallel merge sort of sortkernel.go: append runs are
+// grouped into up to sortProcs chunks, chunk-sorted concurrently, then
+// stably merged pairwise, so the result is exactly what a stable sort
+// of the arrival order produces regardless of how many goroutines ran.
+//
+// The returned comparison count is the modeled n·⌈log₂n⌉ — a pure
+// function of the row count, matching the optimizer's sort CPU model —
+// so the virtual-clock charge is independent of batch size, partition
+// count and slave count (real comparison counts would vary with run
+// boundaries).
 func (t *Temp) Finalize(col int) int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	runs := t.runs
+	t.runs = nil
 	if col < 0 {
 		t.sortedBy = -1
 		return 0
 	}
-	var cmps int64
-	sort.SliceStable(t.tuples, func(i, j int) bool {
-		cmps++
-		return t.tuples[i].Vals[col].Int < t.tuples[j].Vals[col].Int
-	})
+	t.tuples = parallelStableSort(t.tuples, col, runs, t.sortProcs)
 	t.sortedBy = col
-	return cmps
+	return modeledSortCmps(len(t.tuples))
 }
 
 // chunkSize is the virtual page size of a Temp for page partitioning:
@@ -152,71 +173,4 @@ func (t *Temp) Bounds(col int) (lo, hi int32, ok bool) {
 		return 0, 0, false
 	}
 	return t.tuples[0].Vals[col].Int, t.tuples[len(t.tuples)-1].Vals[col].Int, true
-}
-
-// HashTable is the shared-memory hash table a HashOut fragment builds
-// and a HashJoin probe consumes.
-type HashTable struct {
-	Schema storage.Schema
-	Col    int
-
-	mu      sync.Mutex
-	buckets map[int32][]storage.Tuple
-	n       int
-}
-
-// NewHashTable creates an empty table keyed on the given column of the
-// build schema.
-func NewHashTable(schema storage.Schema, col int) *HashTable {
-	return &HashTable{Schema: schema, Col: col, buckets: make(map[int32][]storage.Tuple)}
-}
-
-// Insert adds one build tuple.
-func (h *HashTable) Insert(t storage.Tuple) error {
-	if h.Col >= len(t.Vals) {
-		return fmt.Errorf("exec: hash column %d out of range", h.Col)
-	}
-	k := t.Vals[h.Col].Int
-	h.mu.Lock()
-	h.buckets[k] = append(h.buckets[k], t)
-	h.n++
-	h.mu.Unlock()
-	return nil
-}
-
-// InsertBatch adds a batch of build tuples under one lock round-trip.
-// Column validation happens before the lock so the table never holds a
-// partial batch on error.
-func (h *HashTable) InsertBatch(ts []storage.Tuple) error {
-	for i := range ts {
-		if h.Col >= len(ts[i].Vals) {
-			return fmt.Errorf("exec: hash column %d out of range", h.Col)
-		}
-	}
-	if len(ts) == 0 {
-		return nil
-	}
-	h.mu.Lock()
-	for i := range ts {
-		k := ts[i].Vals[h.Col].Int
-		h.buckets[k] = append(h.buckets[k], ts[i])
-	}
-	h.n += len(ts)
-	h.mu.Unlock()
-	return nil
-}
-
-// Probe returns the build tuples matching key. It takes no lock: probes
-// only run after the building fragment completed, and that completion
-// is published through the master's mailbox, which orders every insert
-// before any probe.
-func (h *HashTable) Probe(key int32) []storage.Tuple {
-	return h.buckets[key]
-}
-
-// Len returns the number of inserted tuples.
-func (h *HashTable) Len() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.n
 }

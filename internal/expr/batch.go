@@ -167,6 +167,20 @@ func colColPred(op CmpOp, li, ri int) Pred {
 	}
 }
 
+// Int4Keys appends the int4 value of column col for every tuple of ts
+// to out and returns the extended slice. It is the batch key-extraction
+// fast path of hash probes: the column bound is checked once per tuple
+// here so the join's per-match loop runs without validation.
+func Int4Keys(ts []storage.Tuple, col int, out []int32) ([]int32, error) {
+	for i := range ts {
+		if col < 0 || col >= len(ts[i].Vals) {
+			return out, fmt.Errorf("expr: column %d out of range (tuple has %d)", col, len(ts[i].Vals))
+		}
+		out = append(out, ts[i].Vals[col].Int)
+	}
+	return out, nil
+}
+
 // FilterInto appends the tuples of ts that satisfy p to out and returns
 // the extended slice. A nil predicate keeps everything. out is caller
 // scratch: the appended tuples alias ts, so out must not outlive the

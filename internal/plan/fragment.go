@@ -50,6 +50,24 @@ type Fragment struct {
 	// HashCol is the key column (in the fragment's output schema) when
 	// Out == HashOut.
 	HashCol int
+	// HashParts is the build-side radix partition count hint when Out ==
+	// HashOut; 0 lets the executor choose. Cost estimation stamps it from
+	// the estimated build cardinality (see SuggestHashParts). Like the
+	// executor's batch size it is purely a wall-clock knob: results and
+	// virtual-clock totals are independent of its value.
+	HashParts int
+}
+
+// SuggestHashParts picks a build-side partition count from the estimated
+// build cardinality: roughly one partition per 4K build rows keeps each
+// partition's open-addressed table cache-resident, clamped to [1, 64]
+// and rounded to a power of two by the executor.
+func SuggestHashParts(rows float64) int {
+	parts := 1
+	for parts < 64 && rows > 4096*float64(parts) {
+		parts *= 2
+	}
+	return parts
 }
 
 // Ready reports whether all input fragments are in the done set.

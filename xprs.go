@@ -112,6 +112,11 @@ type Config struct {
 	// exec.DefaultBatchSize. Results and virtual-clock totals do not
 	// depend on it.
 	BatchSize int
+	// HashPartitions overrides the radix partition count of every
+	// hash-join build table; 0 lets the optimizer's per-fragment hint
+	// (or the executor default) choose. Results and virtual-clock totals
+	// do not depend on it.
+	HashPartitions int
 }
 
 // DefaultConfig is the paper's machine: 8 processors, 4 disks, no cache.
@@ -147,6 +152,7 @@ func New(cfg Config) *System {
 	params := cost.DefaultParams(cfg.Disk, cfg.NProcs)
 	engine := exec.New(clock, store, params)
 	engine.BatchSize = cfg.BatchSize
+	engine.HashPartitions = cfg.HashPartitions
 	return &System{
 		cfg:     cfg,
 		clock:   clock,
