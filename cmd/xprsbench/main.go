@@ -36,6 +36,7 @@ func main() {
 	out := flag.String("out", "BENCH_pipeline.json", "output file for the pipeline benchmark")
 	joinIters := flag.Int("joiniters", 40, "iterations for the join-kernel benchmark")
 	joinOut := flag.String("joinout", "BENCH_join.json", "output file for the join-kernel benchmark")
+	trace := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of one observed pipeline query to this file (with -fig pipeline)")
 	flag.Parse()
 
 	cfg := xprs.DefaultConfig()
@@ -107,6 +108,20 @@ func main() {
 		if err != nil {
 			return err
 		}
+		// One extra observed run of the same query supplies the metrics
+		// snapshot for the payload and, with -trace, the Chrome trace.
+		// MeasurePipeline itself stays unobserved so the perf numbers are
+		// not diluted by trace appends.
+		ocfg := cfg
+		ocfg.Observe = true
+		osys, err := xprs.NewPipelineBenchSystem(ocfg)
+		if err != nil {
+			return err
+		}
+		if _, _, err := xprs.RunPipelineBenchQuery(osys); err != nil {
+			return err
+		}
+		snap := osys.Observer().Metrics.Snapshot()
 		// The tuple-at-a-time executor's numbers on the same canonical
 		// query (recorded before the batch pipeline landed), kept in the
 		// file so regressions are visible without digging through git.
@@ -117,10 +132,32 @@ func main() {
 				AllocsPerOp float64 `json:"allocs_per_op"`
 				BytesPerOp  float64 `json:"bytes_per_op"`
 			} `json:"tuple_at_a_time_baseline"`
-		}{PipelineBenchResult: res}
+			BufferHitRate float64              `json:"buffer_hit_rate"`
+			Repartitions  int64                `json:"repartitions"`
+			Metrics       xprs.MetricsSnapshot `json:"metrics"`
+		}{PipelineBenchResult: res, Metrics: snap}
 		payload.Baseline.NsPerOp = 17108129
 		payload.Baseline.AllocsPerOp = 128017
 		payload.Baseline.BytesPerOp = 10026465
+		hits, misses := snap.Get("bufferpool.hits"), snap.Get("bufferpool.misses")
+		if hits+misses > 0 {
+			payload.BufferHitRate = float64(hits) / float64(hits+misses)
+		}
+		payload.Repartitions = snap.Get("exec.repartitions")
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				return err
+			}
+			if err := osys.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("pipeline: Chrome trace -> %s\n", *trace)
+		}
 		data, err := json.MarshalIndent(payload, "", "  ")
 		if err != nil {
 			return err

@@ -6,8 +6,14 @@
 // Usage:
 //
 //	xprsql 'select * from orders where a between 10 and 20'
+//	xprsql 'explain analyze select * from orders, items where orders.a = items.a'
 //	echo 'select * from orders, items where orders.a = items.a' | xprsql
 //	xprsql            # interactive prompt
+//
+// Prefixing a statement with "explain analyze" executes it and prints
+// the per-fragment execution profile (virtual wall time, degree history,
+// repartitions, tuple counts), the scheduler's decision trace, and the
+// disk/buffer profile instead of the result rows.
 package main
 
 import (
@@ -20,7 +26,9 @@ import (
 )
 
 func main() {
-	sys := xprs.New(xprs.DefaultConfig())
+	cfg := xprs.DefaultConfig()
+	cfg.Observe = true // enables EXPLAIN ANALYZE metrics; results unchanged
+	sys := xprs.New(cfg)
 	if err := loadDemo(sys); err != nil {
 		fmt.Fprintln(os.Stderr, "xprsql:", err)
 		os.Exit(1)
@@ -39,6 +47,7 @@ func main() {
 	fmt.Println("xprsql — tables: orders(a,b) [indexed], items(a,b), customers(a,b)")
 	fmt.Println(`try: select * from orders, items where orders.a = items.a and orders.a < 50`)
 	fmt.Println(`     select items.a, count(*) from items group by a`)
+	fmt.Println(`     explain analyze select * from customers, items where customers.a = items.a`)
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("xprs> ")
 	for sc.Scan() {
@@ -90,6 +99,14 @@ func loadDemo(sys *xprs.System) error {
 }
 
 func run(sys *xprs.System, stmt string) error {
+	if rest, ok := cutAnalyze(stmt); ok {
+		_, pl, rep, err := sys.ExecSQLReport(rest, xprs.InterAdj)
+		if err != nil {
+			return err
+		}
+		fmt.Print(xprs.FormatAnalyze(pl, rep))
+		return nil
+	}
 	res, pl, err := sys.ExecSQL(stmt, xprs.InterAdj)
 	if err != nil {
 		return err
@@ -110,4 +127,16 @@ func run(sys *xprs.System, stmt string) error {
 	}
 	fmt.Printf("(%d rows)\n", n)
 	return nil
+}
+
+// cutAnalyze strips a case-insensitive "explain analyze" prefix,
+// reporting whether the statement had one.
+func cutAnalyze(stmt string) (string, bool) {
+	fields := strings.Fields(stmt)
+	if len(fields) < 3 ||
+		!strings.EqualFold(fields[0], "explain") ||
+		!strings.EqualFold(fields[1], "analyze") {
+		return stmt, false
+	}
+	return strings.Join(fields[2:], " "), true
 }

@@ -53,4 +53,7 @@ func main() {
 	}
 	fmt.Println("\nINTER-WITH-ADJ pairs the most IO-bound with the most CPU-bound task at")
 	fmt.Println("their IO-CPU balance point and re-adjusts the survivor on every completion.")
+	fmt.Println("Each trace line carries the scheduler's reason — the balance-point solve")
+	fmt.Println("(x_i/x_j → n_i/n_j at B_eff) behind every pairing, why solo fallbacks fire,")
+	fmt.Println("and what triggered each dynamic adjustment.")
 }

@@ -47,6 +47,18 @@ const (
 	FIFOPairing
 )
 
+// String implements fmt.Stringer.
+func (p PairingHeuristic) String() string {
+	switch p {
+	case MostExtreme:
+		return "most-extreme"
+	case FIFOPairing:
+		return "fifo"
+	default:
+		return fmt.Sprintf("PairingHeuristic(%d)", int(p))
+	}
+}
+
 // Options tune the controller beyond the policy.
 type Options struct {
 	// SJF orders queues shortest-job-first, the §2.5 multi-user
@@ -66,6 +78,9 @@ type Options struct {
 type Start struct {
 	Task   *Task
 	Degree int
+	// Reason explains the decision for traces: the balance-point solve
+	// behind a paired start, or why the task runs solo.
+	Reason string
 }
 
 // Adjust instructs the engine to change a running task's degree through
@@ -73,16 +88,32 @@ type Start struct {
 type Adjust struct {
 	Task   *Task
 	Degree int
+	// Reason explains the adjustment (partner completion, rebalance with
+	// a new partner, intra-only fallback).
+	Reason string
+}
+
+// Note is an observability record the controller attaches to a decision:
+// classifications, balance-point solves, pairing rejections — the "why"
+// behind (or instead of) the Starts and Adjusts. TaskID is -1 for notes
+// about the whole queue state.
+type Note struct {
+	TaskID int
+	Kind   string // "classify", "balance", "reject", "solo", "defer"
+	Detail string
 }
 
 // Decision is the controller's response to an event: tasks to start and
-// running tasks to adjust, to be applied in order.
+// running tasks to adjust, to be applied in order, plus explanatory
+// notes for the trace.
 type Decision struct {
 	Starts  []Start
 	Adjusts []Adjust
+	Notes   []Note
 }
 
-// Empty reports whether the decision contains no actions.
+// Empty reports whether the decision contains no actions (notes do not
+// count).
 func (d Decision) Empty() bool { return len(d.Starts) == 0 && len(d.Adjusts) == 0 }
 
 // runningInfo tracks one task the engine is currently executing.
@@ -121,16 +152,26 @@ func (c *Controller) Env() Env { return c.env }
 func (c *Controller) Policy() Policy { return c.policy }
 
 // Submit enqueues tasks (classifying each as IO- or CPU-bound) and
-// reschedules.
+// reschedules. The returned decision carries one classification note
+// per task.
 func (c *Controller) Submit(tasks ...*Task) Decision {
+	var notes []Note
 	for _, t := range tasks {
+		class := "CPU-bound"
+		queue := "S_cpu"
 		if c.env.IOBound(t) {
 			c.sio = append(c.sio, t)
+			class, queue = "IO-bound", "S_io"
 		} else {
 			c.scpu = append(c.scpu, t)
 		}
+		notes = append(notes, Note{TaskID: t.ID, Kind: "classify", Detail: fmt.Sprintf(
+			"%s: C=%.1f io/s vs threshold B/N=%.1f; queued on %s (queues io=%d cpu=%d)",
+			class, t.Rate(), c.env.Threshold(), queue, len(c.sio), len(c.scpu))})
 	}
-	return c.schedule()
+	d := c.schedule()
+	d.Notes = append(notes, d.Notes...)
+	return d
 }
 
 // Complete reports that a running task finished and reschedules.
@@ -190,8 +231,33 @@ func (c *Controller) scheduleIntraOnly() Decision {
 	if t == nil {
 		return d
 	}
-	d.Starts = append(d.Starts, c.start(t, c.env.DegreeFor(c.env.MaxParallelism(t))))
+	d.Starts = append(d.Starts, c.start(t, c.env.DegreeFor(c.env.MaxParallelism(t)),
+		fmt.Sprintf("intra-only: tasks run serially, each at maxp=%.2f", c.env.MaxParallelism(t))))
 	return d
+}
+
+// soloReason explains running a task alone at maximum parallelism.
+func (c *Controller) soloReason(t *Task, why string) string {
+	return fmt.Sprintf("%s; solo at maxp=%.2f (queues io=%d cpu=%d)",
+		why, c.env.MaxParallelism(t), len(c.sio), len(c.scpu))
+}
+
+// pairReason renders the §2.3 balance-point solve behind a paired start.
+func (c *Controller) pairReason(p Pair) string {
+	return fmt.Sprintf(
+		"%s pairing io=task %d cpu=task %d: balance x_i=%.2f x_j=%.2f → n_i=%d n_j=%d at B_eff=%.0f io/s; T_inter=%.2fs < T_intra=%.2fs+%.2fs",
+		c.opts.Pairing, p.IO.ID, p.CPU.ID, p.Xi, p.Xj, p.Ni, p.Nj, p.B,
+		p.TInter, c.env.TIntra(p.IO), c.env.TIntra(p.CPU))
+}
+
+// rejectReason explains why a candidate pair was not run side by side.
+func (c *Controller) rejectReason(a, b *Task, p Pair, ok bool) string {
+	if !ok {
+		return fmt.Sprintf("pair task %d + task %d has no balance point (same class, or C_i <= C_j)", a.ID, b.ID)
+	}
+	return fmt.Sprintf(
+		"pair io=task %d cpu=task %d not worthwhile: T_inter=%.2fs >= T_intra=%.2fs+%.2fs (or integer split exceeds B_eff)",
+		p.IO.ID, p.CPU.ID, p.TInter, c.env.TIntra(p.IO), c.env.TIntra(p.CPU))
 }
 
 // --- INTER-WITH-ADJ (§2.5) -------------------------------------------------
@@ -208,7 +274,8 @@ func (c *Controller) scheduleInterAdj() Decision {
 			// Step 8 territory: no partner available — run the survivor
 			// at its own maximum parallelism (the dynamic adjustment that
 			// INTER-WITHOUT-ADJ lacks).
-			c.adjustTo(&d, r, c.env.DegreeFor(c.env.MaxParallelism(r.task)))
+			c.adjustTo(&d, r, c.env.DegreeFor(c.env.MaxParallelism(r.task)),
+				c.soloReason(r.task, "no opposite-class partner (or none fits memory budget); expand survivor"))
 			return d
 		}
 		pair, ok := c.env.EvaluatePair(r.task, partner)
@@ -217,15 +284,19 @@ func (c *Controller) scheduleInterAdj() Decision {
 			if pair.IO != r.task {
 				nr, np = pair.Nj, pair.Ni
 			}
-			c.adjustTo(&d, r, nr)
-			d.Starts = append(d.Starts, c.start(partner, np))
+			reason := c.pairReason(pair)
+			c.adjustTo(&d, r, nr, "rebalance with new partner: "+reason)
+			d.Starts = append(d.Starts, c.start(partner, np, reason))
 			return d
 		}
 		// Pairing rejected: the survivor takes the machine; the partner
 		// returns to its queue head to run alone later (step 4's serial
 		// order).
+		d.Notes = append(d.Notes, Note{TaskID: partner.ID, Kind: "reject",
+			Detail: c.rejectReason(r.task, partner, pair, ok) + "; partner re-queued"})
 		c.pushFront(partner)
-		c.adjustTo(&d, r, c.env.DegreeFor(c.env.MaxParallelism(r.task)))
+		c.adjustTo(&d, r, c.env.DegreeFor(c.env.MaxParallelism(r.task)),
+			c.soloReason(r.task, "pairing rejected; expand survivor"))
 		return d
 	default:
 		ti := c.popIO()
@@ -234,26 +305,42 @@ func (c *Controller) scheduleInterAdj() Decision {
 		case ti != nil && tj != nil:
 			pair, ok := c.env.EvaluatePair(ti, tj)
 			if ok && pair.Worthwhile && ti.MemBytes+tj.MemBytes <= c.memBudgetOrMax() {
+				reason := c.pairReason(pair)
 				d.Starts = append(d.Starts,
-					c.start(pair.IO, pair.Ni),
-					c.start(pair.CPU, pair.Nj))
+					c.start(pair.IO, pair.Ni, reason),
+					c.start(pair.CPU, pair.Nj, reason))
 				return d
 			}
 			// Step 4 else-branch: execute f_i alone with maxp until
 			// completion, then f_j alone (f_j re-queues; the next
 			// completion reschedules it).
+			d.Notes = append(d.Notes, Note{TaskID: tj.ID, Kind: "reject",
+				Detail: c.pairOrMemReject(ti, tj, pair, ok) + "; run IO task first, partner re-queued"})
 			c.pushFront(tj)
-			d.Starts = append(d.Starts, c.start(ti, c.env.DegreeFor(c.env.MaxParallelism(ti))))
+			d.Starts = append(d.Starts, c.start(ti, c.env.DegreeFor(c.env.MaxParallelism(ti)),
+				c.soloReason(ti, "pairing rejected; IO task runs first")))
 			return d
 		case ti != nil:
-			d.Starts = append(d.Starts, c.start(ti, c.env.DegreeFor(c.env.MaxParallelism(ti))))
+			d.Starts = append(d.Starts, c.start(ti, c.env.DegreeFor(c.env.MaxParallelism(ti)),
+				c.soloReason(ti, "S_cpu empty")))
 			return d
 		case tj != nil:
-			d.Starts = append(d.Starts, c.start(tj, c.env.DegreeFor(c.env.MaxParallelism(tj))))
+			d.Starts = append(d.Starts, c.start(tj, c.env.DegreeFor(c.env.MaxParallelism(tj)),
+				c.soloReason(tj, "S_io empty")))
 			return d
 		}
 		return d
 	}
+}
+
+// pairOrMemReject folds the memory-budget veto into the pair-reject
+// explanation (the fresh-start path checks both at once).
+func (c *Controller) pairOrMemReject(a, b *Task, p Pair, ok bool) string {
+	if ok && p.Worthwhile {
+		return fmt.Sprintf("pair task %d + task %d exceeds memory budget (%d+%d > %d bytes)",
+			a.ID, b.ID, a.MemBytes, b.MemBytes, c.opts.MemoryBudget)
+	}
+	return c.rejectReason(a, b, p, ok)
 }
 
 // --- INTER-WITHOUT-ADJ (§3) -------------------------------------------------
@@ -278,7 +365,9 @@ func (c *Controller) scheduleInterNoAdj() Decision {
 			return d
 		}
 		deg := c.env.DegreeFor(math.Min(float64(avail), c.env.MaxParallelism(t)))
-		d.Starts = append(d.Starts, c.start(t, deg))
+		d.Starts = append(d.Starts, c.start(t, deg, fmt.Sprintf(
+			"best-fill: closest to max-utilization corner (N=%d, B=%.0f io/s) alongside running task %d (degree %d, %d procs free); no adjustment under %s",
+			c.env.NProcs, c.env.B, r.task.ID, r.degree, avail, c.policy)))
 		return d
 	default:
 		// Fresh start: same pairing as INTER-WITH-ADJ.
@@ -288,19 +377,25 @@ func (c *Controller) scheduleInterNoAdj() Decision {
 		case ti != nil && tj != nil:
 			pair, ok := c.env.EvaluatePair(ti, tj)
 			if ok && pair.Worthwhile && ti.MemBytes+tj.MemBytes <= c.memBudgetOrMax() {
+				reason := c.pairReason(pair)
 				d.Starts = append(d.Starts,
-					c.start(pair.IO, pair.Ni),
-					c.start(pair.CPU, pair.Nj))
+					c.start(pair.IO, pair.Ni, reason),
+					c.start(pair.CPU, pair.Nj, reason))
 				return d
 			}
+			d.Notes = append(d.Notes, Note{TaskID: tj.ID, Kind: "reject",
+				Detail: c.pairOrMemReject(ti, tj, pair, ok) + "; run IO task first, partner re-queued"})
 			c.pushFront(tj)
-			d.Starts = append(d.Starts, c.start(ti, c.env.DegreeFor(c.env.MaxParallelism(ti))))
+			d.Starts = append(d.Starts, c.start(ti, c.env.DegreeFor(c.env.MaxParallelism(ti)),
+				c.soloReason(ti, "pairing rejected; IO task runs first")))
 			return d
 		case ti != nil:
-			d.Starts = append(d.Starts, c.start(ti, c.env.DegreeFor(c.env.MaxParallelism(ti))))
+			d.Starts = append(d.Starts, c.start(ti, c.env.DegreeFor(c.env.MaxParallelism(ti)),
+				c.soloReason(ti, "S_cpu empty")))
 			return d
 		case tj != nil:
-			d.Starts = append(d.Starts, c.start(tj, c.env.DegreeFor(c.env.MaxParallelism(tj))))
+			d.Starts = append(d.Starts, c.start(tj, c.env.DegreeFor(c.env.MaxParallelism(tj)),
+				c.soloReason(tj, "S_io empty")))
 			return d
 		}
 		return d
@@ -354,17 +449,17 @@ func (c *Controller) popBestFill(r runningInfo, avail int) *Task {
 
 // --- queue helpers ----------------------------------------------------------
 
-func (c *Controller) start(t *Task, degree int) Start {
+func (c *Controller) start(t *Task, degree int, reason string) Start {
 	c.running = append(c.running, runningInfo{task: t, degree: degree})
-	return Start{Task: t, Degree: degree}
+	return Start{Task: t, Degree: degree, Reason: reason}
 }
 
-func (c *Controller) adjustTo(d *Decision, r *runningInfo, degree int) {
+func (c *Controller) adjustTo(d *Decision, r *runningInfo, degree int, reason string) {
 	if r.degree == degree {
 		return
 	}
 	r.degree = degree
-	d.Adjusts = append(d.Adjusts, Adjust{Task: r.task, Degree: degree})
+	d.Adjusts = append(d.Adjusts, Adjust{Task: r.task, Degree: degree, Reason: reason})
 }
 
 // popOpposite removes the next task from the class opposite to t's:

@@ -21,14 +21,26 @@ type SimTask struct {
 // TraceEvent records one scheduling action for explain output and tests.
 type TraceEvent struct {
 	Time   float64
-	Kind   string // "start", "adjust", "complete"
+	Kind   string // "start", "adjust", "complete", or a note kind ("classify", "reject", ...)
 	TaskID int
-	Degree int
+	Degree int // -1 for note events, which carry no degree
+	// Reason is the controller's explanation: the balance-point solve, the
+	// pairing heuristic's choice, or why a pair was rejected. Empty on
+	// events predating observability and on completions.
+	Reason string
 }
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. The prefix matches the historical
+// format exactly; the reason, when present, is appended after a dash.
 func (ev TraceEvent) String() string {
-	return fmt.Sprintf("t=%8.3fs %-8s task %d (degree %d)", ev.Time, ev.Kind, ev.TaskID, ev.Degree)
+	s := fmt.Sprintf("t=%8.3fs %-8s task %d", ev.Time, ev.Kind, ev.TaskID)
+	if ev.Degree >= 0 {
+		s += fmt.Sprintf(" (degree %d)", ev.Degree)
+	}
+	if ev.Reason != "" {
+		s += " — " + ev.Reason
+	}
+	return s
 }
 
 // SimResult is the outcome of a simulation.
@@ -95,15 +107,18 @@ func Simulate(env Env, policy Policy, opts Options, tasks []SimTask) (SimResult,
 
 	now := 0.0
 	apply := func(d Decision) {
+		for _, n := range d.Notes {
+			res.Trace = append(res.Trace, TraceEvent{Time: now, Kind: n.Kind, TaskID: n.TaskID, Degree: -1, Reason: n.Detail})
+		}
 		for _, a := range d.Adjusts {
 			states[a.Task.ID].degree = a.Degree
-			res.Trace = append(res.Trace, TraceEvent{Time: now, Kind: "adjust", TaskID: a.Task.ID, Degree: a.Degree})
+			res.Trace = append(res.Trace, TraceEvent{Time: now, Kind: "adjust", TaskID: a.Task.ID, Degree: a.Degree, Reason: a.Reason})
 		}
 		for _, st := range d.Starts {
 			s := states[st.Task.ID]
 			s.running = true
 			s.degree = st.Degree
-			res.Trace = append(res.Trace, TraceEvent{Time: now, Kind: "start", TaskID: st.Task.ID, Degree: st.Degree})
+			res.Trace = append(res.Trace, TraceEvent{Time: now, Kind: "start", TaskID: st.Task.ID, Degree: st.Degree, Reason: st.Reason})
 		}
 	}
 

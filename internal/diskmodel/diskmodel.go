@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"xprs/internal/obs"
 	"xprs/internal/vclock"
 )
 
@@ -139,6 +140,11 @@ type disk struct {
 	lastBlock int64
 	hasLast   bool
 	stats     Stats
+	// lastClass tracks the class of the previous request so the tracer
+	// can mark service-mode transitions (the mechanistic face of the
+	// scheduler's Bs→Br interpolation).
+	lastClass IOClass
+	hasClass  bool
 }
 
 // Array is a striped disk array serving block reads in virtual time.
@@ -147,6 +153,39 @@ type Array struct {
 	cfg   Config
 	clock vclock.Clock
 	disks []disk
+
+	// Observability, set by SetObserver: a nil tracer disables event
+	// emission. Events are captured under the disk mutex and emitted
+	// after unlock; the tracer never touches the clock, so tracing
+	// cannot change service times.
+	tr       *obs.Tracer
+	obsStart time.Duration
+	laneTids []int
+}
+
+// SetObserver attaches (or, with nil arguments, detaches) a tracer and
+// metrics registry. runStart is subtracted from every timestamp so the
+// trace is run-relative. One lane per disk is allocated in the tracer's
+// disk process group; the registry gains aggregate read counters by
+// class plus busy/queued time, read at snapshot.
+func (a *Array) SetObserver(tr *obs.Tracer, reg *obs.Registry, runStart time.Duration) {
+	a.tr = tr
+	a.obsStart = runStart
+	if tr != nil {
+		a.laneTids = make([]int, len(a.disks))
+		for i := range a.disks {
+			a.laneTids[i] = tr.Lane(obs.PidDisks, fmt.Sprintf("disk%d", i))
+		}
+	}
+	if reg == nil {
+		return
+	}
+	for c := IOClass(0); c < numClasses; c++ {
+		c := c
+		reg.RegisterFunc("disk.reads_"+c.String(), func() int64 { return a.Stats().Reads[c] })
+	}
+	reg.RegisterFunc("disk.busy_micros", func() int64 { return a.Stats().Busy.Microseconds() })
+	reg.RegisterFunc("disk.queued_micros", func() int64 { return a.Stats().Queued.Microseconds() })
 }
 
 // New creates an array on the given clock. It panics if cfg is invalid,
@@ -188,7 +227,8 @@ func (a *Array) enqueue(relID int32, block int64, parallel bool) (time.Duration,
 	if block < 0 {
 		panic(fmt.Sprintf("diskmodel: negative block %d", block))
 	}
-	d := &a.disks[a.DiskFor(block)]
+	diskIdx := a.DiskFor(block)
+	d := &a.disks[diskIdx]
 	local := block / int64(a.cfg.NumDisks)
 
 	now := a.clock.Now()
@@ -208,7 +248,23 @@ func (a *Array) enqueue(relID int32, block int64, parallel bool) (time.Duration,
 	d.stats.Reads[class]++
 	d.stats.Busy += svc
 	d.stats.Queued += start - now
+	prevClass, hadClass := d.lastClass, d.hasClass
+	d.lastClass, d.hasClass = class, true
 	d.mu.Unlock()
+	if a.tr != nil {
+		tid := a.laneTids[diskIdx]
+		a.tr.Span(start-a.obsStart, svc, obs.PidDisks, tid, "io", class.String(),
+			fmt.Sprintf("rel %d block %d", relID, block))
+		if !hadClass || prevClass != class {
+			from := "idle"
+			if hadClass {
+				from = prevClass.String()
+			}
+			a.tr.Instant(start-a.obsStart, obs.PidDisks, tid, "diskmode",
+				from+"→"+class.String(),
+				fmt.Sprintf("service mode shift on disk %d: now %.0f io/s", diskIdx, 1/a.service(class).Seconds()))
+		}
+	}
 	return done, class
 }
 

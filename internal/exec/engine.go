@@ -9,6 +9,7 @@ import (
 	"xprs/internal/core"
 	"xprs/internal/cost"
 	"xprs/internal/diskmodel"
+	"xprs/internal/obs"
 	"xprs/internal/plan"
 	"xprs/internal/storage"
 	"xprs/internal/vclock"
@@ -41,6 +42,16 @@ type Engine struct {
 	// independent of the value.
 	HashPartitions int
 
+	// Trace receives structured span/instant events when set. The tracer
+	// only appends under its own mutex with timestamps read from the
+	// virtual clock, so enabling it cannot change Finish/Elapsed results;
+	// nil disables tracing at the cost of one branch per event site.
+	Trace *obs.Tracer
+
+	// Metrics receives counters and histograms when set; nil disables
+	// them the same way.
+	Metrics *obs.Registry
+
 	// cpuQuantumPs batches per-tuple CPU charges into clock sleeps
 	// (picoseconds); purely a simulation-efficiency knob.
 	cpuQuantumPs int64
@@ -50,6 +61,28 @@ type Engine struct {
 	batchPool sync.Pool
 
 	events *vclock.Mailbox
+
+	// Run-scoped observability state.
+	runStart time.Duration
+	schedTid int
+	mBatches *obs.Counter
+	mTuples  *obs.Counter
+	mReparts *obs.Counter
+	mSlaves  *obs.Counter
+	mTasks   *obs.Counter
+	hTaskUs  *obs.Histogram
+}
+
+// now returns virtual time relative to the current run's start (a pure
+// clock read; safe whether or not tracing is enabled).
+func (e *Engine) now() time.Duration { return e.Clock.Now() - e.runStart }
+
+// schedEvent records an instant on the scheduler lane.
+func (e *Engine) schedEvent(name, detail string) {
+	if e.Trace == nil {
+		return
+	}
+	e.Trace.Instant(e.now(), obs.PidSched, e.schedTid, "sched", name, detail)
 }
 
 // batchSize returns the effective pipeline batch size.
@@ -161,12 +194,43 @@ type TraceEvent struct {
 	Kind   string // "start", "adjust", "complete"
 	TaskID int
 	Degree int
+	// Reason carries the controller's explanation of the action: the
+	// balance-point solve behind a paired start, why a task runs solo, or
+	// what triggered an adjustment. Empty on completions.
+	Reason string
 }
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. The prefix is the historical format;
+// the reason, when present, is appended after a dash.
 func (ev TraceEvent) String() string {
-	return fmt.Sprintf("t=%10v %-8s task %d (degree %d)", ev.Time, ev.Kind, ev.TaskID, ev.Degree)
+	s := fmt.Sprintf("t=%10v %-8s task %d (degree %d)", ev.Time, ev.Kind, ev.TaskID, ev.Degree)
+	if ev.Reason != "" {
+		s += " — " + ev.Reason
+	}
+	return s
 }
+
+// FragStat is the per-fragment execution summary for EXPLAIN ANALYZE.
+type FragStat struct {
+	// Name is the task's display name (q<base>.f<id>).
+	Name string
+	// Start and Finish are run-relative virtual times.
+	Start, Finish time.Duration
+	// Degrees is the degree history: the launch degree followed by one
+	// entry per dynamic adjustment.
+	Degrees []int
+	// Slaves is the total number of slave backends ever spawned.
+	Slaves int
+	// Repartitions counts completed §2.4 adjustment rounds.
+	Repartitions int
+	// TuplesIn / TuplesOut / Batches count driver tuples fed into the
+	// pipeline, tuples delivered to the fragment output, and pipeline
+	// batches processed.
+	TuplesIn, TuplesOut, Batches int64
+}
+
+// Elapsed is the fragment's wall (virtual) time.
+func (s FragStat) Elapsed() time.Duration { return s.Finish - s.Start }
 
 // Report is the outcome of a Run.
 type Report struct {
@@ -181,6 +245,14 @@ type Report struct {
 	Disk diskmodel.Stats
 	// Trace lists scheduling actions in time order.
 	Trace []TraceEvent
+	// Frags maps task ID to its per-fragment execution summary.
+	Frags map[int]FragStat
+	// Events is this run's slice of the engine's structured trace
+	// (empty when Engine.Trace is nil), sorted by virtual time.
+	Events []obs.Event
+	// Metrics is the metrics snapshot taken at the end of the run (zero
+	// when Engine.Metrics is nil).
+	Metrics obs.Snapshot
 }
 
 // events posted to the master's mailbox.
@@ -222,8 +294,20 @@ func (e *Engine) Run(specs []TaskSpec, policy core.Policy, opts core.Options) (*
 	rep := &Report{
 		Finish:  make(map[int]time.Duration),
 		Results: make(map[int]*Temp),
+		Frags:   make(map[int]FragStat),
 	}
 	start := e.Clock.Now()
+	e.runStart = start
+	e.schedTid = e.Trace.Lane(obs.PidSched, "master")
+	traceMark := e.Trace.Mark()
+	e.mBatches = e.Metrics.Counter("exec.batches")
+	e.mTuples = e.Metrics.Counter("exec.tuples_in")
+	e.mReparts = e.Metrics.Counter("exec.repartitions")
+	e.mSlaves = e.Metrics.Counter("exec.slaves_spawned")
+	e.mTasks = e.Metrics.Counter("exec.tasks_completed")
+	e.hTaskUs = e.Metrics.Histogram("exec.task_micros")
+	e.Store.Disks.SetObserver(e.Trace, e.Metrics, start)
+	e.Store.RegisterMetrics(e.Metrics)
 
 	// Run-scoped materialization state, keyed by fragment identity.
 	temps := make(map[*plan.Fragment]*Temp)
@@ -259,12 +343,20 @@ func (e *Engine) Run(specs []TaskSpec, policy core.Policy, opts core.Options) (*
 	}
 
 	apply := func(d core.Decision) error {
+		if e.Trace != nil {
+			for _, n := range d.Notes {
+				e.schedEvent(n.Kind, fmt.Sprintf("task %d: %s", n.TaskID, n.Detail))
+			}
+		}
 		for _, a := range d.Adjusts {
 			rt := running[a.Task.ID]
 			if rt == nil {
 				return fmt.Errorf("exec: adjust for task %d which is not running", a.Task.ID)
 			}
-			rep.Trace = append(rep.Trace, TraceEvent{Time: e.Clock.Now() - start, Kind: "adjust", TaskID: a.Task.ID, Degree: a.Degree})
+			rep.Trace = append(rep.Trace, TraceEvent{Time: e.Clock.Now() - start, Kind: "adjust", TaskID: a.Task.ID, Degree: a.Degree, Reason: a.Reason})
+			if e.Trace != nil {
+				e.schedEvent("adjust", fmt.Sprintf("task %d to degree %d: %s", a.Task.ID, a.Degree, a.Reason))
+			}
 			if err := rt.adjust(a.Degree); err != nil {
 				return err
 			}
@@ -279,9 +371,13 @@ func (e *Engine) Run(specs []TaskSpec, policy core.Policy, opts core.Options) (*
 			if err != nil {
 				return err
 			}
-			rt := &runningTask{eng: e, task: st.Task, fr: fr, drv: drv, slaves: make(map[int]*slaveState)}
+			fr.obsTid = e.Trace.Lane(obs.PidTasks, st.Task.Name)
+			rt := &runningTask{eng: e, task: st.Task, fr: fr, drv: drv, slaves: make(map[int]*slaveState), startAt: e.now()}
 			running[st.Task.ID] = rt
-			rep.Trace = append(rep.Trace, TraceEvent{Time: e.Clock.Now() - start, Kind: "start", TaskID: st.Task.ID, Degree: st.Degree})
+			rep.Trace = append(rep.Trace, TraceEvent{Time: e.Clock.Now() - start, Kind: "start", TaskID: st.Task.ID, Degree: st.Degree, Reason: st.Reason})
+			if e.Trace != nil {
+				e.schedEvent("start", fmt.Sprintf("task %d (%s) at degree %d: %s", st.Task.ID, st.Task.Name, st.Degree, st.Reason))
+			}
 			if err := rt.launch(st.Degree); err != nil {
 				return err
 			}
@@ -336,6 +432,16 @@ func (e *Engine) Run(specs []TaskSpec, policy core.Policy, opts core.Options) (*
 			now := e.Clock.Now() - start
 			rep.Finish[id] = now
 			rep.Trace = append(rep.Trace, TraceEvent{Time: now, Kind: "complete", TaskID: id, Degree: 0})
+			st := ev.rt.fragStat(now)
+			rep.Frags[id] = st
+			e.mTasks.Inc()
+			e.hTaskUs.Observe(int64(st.Elapsed() / time.Microsecond))
+			if e.Trace != nil {
+				detail := fmt.Sprintf("degrees %v; %d slaves, %d repartitions; in=%d out=%d tuples, %d batches",
+					st.Degrees, st.Slaves, st.Repartitions, st.TuplesIn, st.TuplesOut, st.Batches)
+				e.Trace.Span(st.Start, st.Elapsed(), obs.PidTasks, ev.rt.fr.obsTid, "frag", ev.task.Name, detail)
+				e.schedEvent("complete", fmt.Sprintf("task %d (%s): %s", id, ev.task.Name, detail))
+			}
 			// Publish the fragment's output for consumers.
 			frag := byID[id].Frag
 			switch frag.Out {
@@ -366,6 +472,12 @@ func (e *Engine) Run(specs []TaskSpec, policy core.Policy, opts core.Options) (*
 	}
 	rep.Elapsed = e.Clock.Now() - start
 	rep.Disk = e.Store.Disks.Stats()
+	if e.Trace != nil {
+		rep.Events = e.Trace.Since(traceMark)
+	}
+	if e.Metrics != nil {
+		rep.Metrics = e.Metrics.Snapshot()
+	}
 	return rep, nil
 }
 

@@ -159,6 +159,11 @@ func (d *mergeDriver) repartition(remaining []report, degree int) ([]assignment,
 		}
 		return 0
 	})
+	if d.fr.eng.Trace != nil {
+		d.fr.traceInstant("protocol", "interval-redeal", fmt.Sprintf(
+			"%d remaining merge-key intervals split on left-input quantiles over %d slaves",
+			len(all), degree))
+	}
 	// Split each remaining interval into degree quantile parts and deal
 	// them round-robin; with the common case of one big remaining
 	// interval this reproduces a balanced split.

@@ -253,6 +253,11 @@ func (d *pageDriver) repartition(remaining []report, degree int) ([]assignment, 
 	}
 	m := d.maxFrontier(olds)
 	np := d.src.npages()
+	if d.fr != nil && d.fr.eng.Trace != nil {
+		d.fr.traceInstant("protocol", "maxpage", fmt.Sprintf(
+			"maxpage=%d of %d pages: old slaves finish their strides below it, pages above re-striped mod %d",
+			m, np, degree))
+	}
 	out := make([]assignment, 0, max(len(olds), degree))
 	for i, old := range olds {
 		na := &pageAssign{frontier: old.frontier}

@@ -2,9 +2,11 @@ package exec
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"xprs/internal/btree"
 	"xprs/internal/expr"
+	"xprs/internal/obs"
 	"xprs/internal/plan"
 	"xprs/internal/storage"
 )
@@ -72,10 +74,29 @@ type fragRun struct {
 	// nProbes counts the per-slave probe-scratch slots handed out to
 	// hash joins at compile time.
 	nProbes int
+
+	// obsTid is the fragment's trace lane (0 when tracing is off).
+	obsTid int
+	// Always-on execution counters behind FragStat: pure atomic adds
+	// that never touch the clock, so they cannot perturb determinism.
+	statTuplesIn  atomic.Int64
+	statTuplesOut atomic.Int64
+	statBatches   atomic.Int64
+}
+
+// traceInstant records a protocol event on the fragment's lane; callers
+// guard with `if fr.eng.Trace != nil` to skip detail formatting when
+// tracing is off.
+func (fr *fragRun) traceInstant(cat, name, detail string) {
+	fr.eng.Trace.Instant(fr.eng.now(), obs.PidTasks, fr.obsTid, cat, name, detail)
 }
 
 // processBatch feeds one batch of driver tuples through the pipeline.
 func (fr *fragRun) processBatch(sc *slaveCtx, ts []storage.Tuple) error {
+	fr.statBatches.Add(1)
+	fr.statTuplesIn.Add(int64(len(ts)))
+	fr.eng.mBatches.Add(1)
+	fr.eng.mTuples.Add(int64(len(ts)))
 	return fr.root.proc(sc, ts)
 }
 
@@ -135,6 +156,7 @@ func newFragRun(eng *Engine, frag *plan.Fragment, temps map[*plan.Fragment]*Temp
 func (fr *fragRun) finalize() {
 	if fr.agg != nil {
 		groups := fr.agg.emit(fr.outTemp)
+		fr.statTuplesOut.Add(int64(groups))
 		fr.eng.chargeMasterCPU(float64(groups) * fr.eng.Params.EmitCPU)
 	}
 	if fr.frag.Out == plan.SortedOut {
@@ -158,6 +180,7 @@ func (fr *fragRun) compileSink() consumer {
 		insertCPU := fr.eng.Params.HashInsertCPU
 		return consumer{retains: true, proc: func(sc *slaveCtx, ts []storage.Tuple) error {
 			sc.chargeCPUPer(insertCPU, len(ts))
+			fr.statTuplesOut.Add(int64(len(ts)))
 			// Each slave partitions into a private builder — no lock per
 			// batch; flushAll hands the buffers to the shared table once at
 			// slave exit.
@@ -168,6 +191,7 @@ func (fr *fragRun) compileSink() consumer {
 		}}
 	}
 	return consumer{retains: true, proc: func(sc *slaveCtx, ts []storage.Tuple) error {
+		fr.statTuplesOut.Add(int64(len(ts)))
 		sc.bufferBatch(ts)
 		return nil
 	}}

@@ -75,6 +75,11 @@ func (d *rangeDriver) repartition(remaining []report, degree int) ([]assignment,
 			}
 		}
 	}
+	if d.fr.eng.Trace != nil {
+		d.fr.traceInstant("protocol", "interval-redeal", fmt.Sprintf(
+			"%d remaining key intervals merged and redealt over %d slaves on index quantiles",
+			len(all), degree))
+	}
 	parts := dealIntervals(d.scan.Index.Tree, all, degree)
 	out := make([]assignment, len(parts))
 	for i, p := range parts {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"xprs/internal/core"
+	"xprs/internal/obs"
 	"xprs/internal/storage"
 )
 
@@ -46,6 +47,9 @@ type slaveState struct {
 	done     bool
 	reportCh chan struct{}
 	resumeCh chan struct{}
+	// startAt / obsTid back the slave's lifetime span in the trace.
+	startAt time.Duration
+	obsTid  int
 }
 
 // runningTask is one executing fragment: its slaves, degree, and the
@@ -64,6 +68,29 @@ type runningTask struct {
 	active    int  // number of live slaves
 	completed bool // completion has been posted
 	failure   error
+
+	// Observability state (guarded by mu): run-relative launch time,
+	// degree history and completed-adjustment count for FragStat.
+	startAt time.Duration
+	degrees []int
+	reparts int
+}
+
+// fragStat summarizes the task's execution for Report.Frags.
+func (rt *runningTask) fragStat(finish time.Duration) FragStat {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return FragStat{
+		Name:         rt.task.Name,
+		Start:        rt.startAt,
+		Finish:       finish,
+		Degrees:      slices.Clone(rt.degrees),
+		Slaves:       rt.nextSlot,
+		Repartitions: rt.reparts,
+		TuplesIn:     rt.fr.statTuplesIn.Load(),
+		TuplesOut:    rt.fr.statTuplesOut.Load(),
+		Batches:      rt.fr.statBatches.Load(),
+	}
 }
 
 // launch starts the task's slave backends at the given degree.
@@ -74,6 +101,7 @@ func (rt *runningTask) launch(degree int) error {
 	}
 	rt.mu.Lock()
 	rt.degree = degree
+	rt.degrees = append(rt.degrees, degree)
 	for _, a := range assigns {
 		if a == nil {
 			continue
@@ -96,6 +124,11 @@ func (rt *runningTask) spawnLocked(a assignment) {
 	rt.nextSlot++
 	rt.slaves[s.slot] = s
 	rt.active++
+	rt.eng.mSlaves.Inc()
+	if rt.eng.Trace != nil {
+		s.startAt = rt.eng.now()
+		s.obsTid = rt.eng.Trace.Lane(obs.PidTasks, fmt.Sprintf("%s/s%d", rt.task.Name, s.slot))
+	}
 	sc := &slaveCtx{rt: rt, state: s}
 	key := slaveKey(rt.task.ID, s.slot)
 	rt.eng.Clock.Go(func() {
@@ -129,6 +162,11 @@ func (rt *runningTask) slaveExit(s *slaveState, err error) {
 	}
 	failure := rt.failure
 	rt.mu.Unlock()
+	if rt.eng.Trace != nil {
+		now := rt.eng.now()
+		rt.eng.Trace.Span(s.startAt, now-s.startAt, obs.PidTasks, s.obsTid, "slave",
+			fmt.Sprintf("%s/s%d", rt.task.Name, s.slot), "")
+	}
 	if reportCh != nil {
 		rt.eng.Clock.Signal(reportCh)
 	}
@@ -170,8 +208,13 @@ func (rt *runningTask) adjust(newDegree int) error {
 		s.resumeCh = make(chan struct{})
 		participants = append(participants, s)
 	}
+	oldDegree := rt.degree
 	slices.SortFunc(participants, func(a, b *slaveState) int { return a.slot - b.slot })
 	rt.mu.Unlock()
+	if rt.eng.Trace != nil {
+		rt.fr.traceInstant("protocol", "adjust-signal", fmt.Sprintf(
+			"degree %d → %d: pause signalled to %d slaves", oldDegree, newDegree, len(participants)))
+	}
 
 	// Phase 2: wait for every participant to report its progress (or
 	// exit). Slaves blocked in a disk read report at their next page
@@ -229,9 +272,18 @@ func (rt *runningTask) adjust(newDegree int) error {
 		}
 	}
 	rt.degree = newDegree
+	rt.degrees = append(rt.degrees, newDegree)
+	rt.reparts++
+	spawned := rt.nextSlot
 	rt.round = false
 	resumes := resumeChannels(live)
 	rt.mu.Unlock()
+	rt.eng.mReparts.Inc()
+	if rt.eng.Trace != nil {
+		rt.fr.traceInstant("protocol", "resume", fmt.Sprintf(
+			"repartitioned over degree %d: %d surviving slaves resumed, %d slaves ever spawned",
+			newDegree, len(live), spawned))
+	}
 	for _, ch := range resumes {
 		rt.eng.Clock.Signal(ch)
 	}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Chrome trace-event export: the JSON object format understood by
+// Perfetto (ui.perfetto.dev) and chrome://tracing. Each (Pid, Tid) lane
+// becomes a named track; spans render as boxes, instants as arrows.
+// Timestamps are virtual microseconds.
+
+// chromeEvent is one record of the Chrome trace-event format.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant scope: "t" = thread
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level trace object.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	Metadata        map[string]any `json:"otherData,omitempty"`
+}
+
+// processNames labels the Pid groups in the exported trace.
+var processNames = map[int]string{
+	PidSched: "scheduler",
+	PidTasks: "tasks",
+	PidDisks: "disks",
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// ChromeTrace assembles the trace file from events, lane names and an
+// optional metrics snapshot (embedded as trace metadata).
+func ChromeTrace(events []Event, lanes []LaneName, snap *Snapshot) ([]byte, error) {
+	out := chromeFile{
+		TraceEvents:     make([]chromeEvent, 0, len(events)+2*len(lanes)+len(processNames)),
+		DisplayTimeUnit: "ms",
+	}
+	seen := map[int]bool{}
+	addProcess := func(pid int) {
+		if seen[pid] {
+			return
+		}
+		seen[pid] = true
+		name := processNames[pid]
+		if name == "" {
+			name = "xprs"
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Phase: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, ln := range lanes {
+		addProcess(ln.Pid)
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", Pid: ln.Pid, Tid: ln.Tid,
+			Args: map[string]any{"name": ln.Name},
+		})
+	}
+	for _, ev := range events {
+		addProcess(ev.Pid)
+		ce := chromeEvent{
+			Name:  ev.Name,
+			Cat:   ev.Cat,
+			Phase: string(ev.Phase),
+			Ts:    micros(ev.Ts),
+			Pid:   ev.Pid,
+			Tid:   ev.Tid,
+		}
+		if ev.Phase == PhaseSpan {
+			d := micros(ev.Dur)
+			ce.Dur = &d
+		}
+		if ev.Phase == PhaseInstant {
+			ce.Scope = "t"
+		}
+		if ev.Detail != "" {
+			ce.Args = map[string]any{"detail": ev.Detail}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	if snap != nil {
+		out.Metadata = map[string]any{"metrics": snap}
+	}
+	return json.MarshalIndent(out, "", " ")
+}
+
+// WriteChromeTrace writes the trace file to w.
+func WriteChromeTrace(w io.Writer, events []Event, lanes []LaneName, snap *Snapshot) error {
+	data, err := ChromeTrace(events, lanes, snap)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"xprs/internal/diskmodel"
+	"xprs/internal/obs"
 	"xprs/internal/vclock"
 )
 
@@ -139,6 +140,14 @@ func (bp *BufferPool) Stats() (hits, misses int64) {
 	return bp.hits.Load(), bp.misses.Load()
 }
 
+// RegisterMetrics exposes the pool's hit/miss counters through a metrics
+// registry. The registry reads the pool's own atomics at snapshot time;
+// the hot path is untouched. A nil registry is a no-op.
+func (bp *BufferPool) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterFunc("bufferpool.hits", bp.hits.Load)
+	reg.RegisterFunc("bufferpool.misses", bp.misses.Load)
+}
+
 // Invalidate drops all cached residency (e.g. between experiments).
 func (bp *BufferPool) Invalidate() {
 	for i := range bp.shards {
@@ -174,6 +183,12 @@ func NewStore(clock vclock.Clock, disks *diskmodel.Array, poolPages int) *Store 
 		byID:   make(map[int32]*Relation),
 		nextID: 1,
 	}
+}
+
+// RegisterMetrics exposes the store's buffer-pool counters through a
+// metrics registry (nil is a no-op).
+func (s *Store) RegisterMetrics(reg *obs.Registry) {
+	s.Pool.RegisterMetrics(reg)
 }
 
 // NextID reserves a relation ID for an externally built relation.

@@ -28,6 +28,7 @@ package xprs
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"xprs/internal/btree"
@@ -36,6 +37,7 @@ import (
 	"xprs/internal/diskmodel"
 	"xprs/internal/exec"
 	"xprs/internal/expr"
+	"xprs/internal/obs"
 	"xprs/internal/opt"
 	"xprs/internal/plan"
 	"xprs/internal/sqlmini"
@@ -76,6 +78,14 @@ type (
 	Temp = exec.Temp
 	// Tuple is one row.
 	Tuple = storage.Tuple
+	// TraceEvent is one scheduling action in a Report's trace, carrying
+	// the controller's reason for the decision.
+	TraceEvent = exec.TraceEvent
+	// FragStat is the per-fragment execution summary in Report.Frags.
+	FragStat = exec.FragStat
+	// MetricsSnapshot is a point-in-time view of every metric collected
+	// during an observed run.
+	MetricsSnapshot = obs.Snapshot
 )
 
 // Scheduling policies (§3's three algorithms).
@@ -117,6 +127,12 @@ type Config struct {
 	// (or the executor default) choose. Results and virtual-clock totals
 	// do not depend on it.
 	HashPartitions int
+	// Observe enables run observability: structured trace spans (one
+	// lane per slave backend and per disk), scheduler decision events
+	// with reasons, and the metrics registry. Results and virtual-clock
+	// totals do not depend on it — instrumentation never touches the
+	// clock beyond pure reads.
+	Observe bool
 }
 
 // DefaultConfig is the paper's machine: 8 processors, 4 disks, no cache.
@@ -132,6 +148,9 @@ type System struct {
 	store  *storage.Store
 	engine *exec.Engine
 	params cost.Params
+	// observer holds the tracer and metrics registry when Config.Observe
+	// is set; nil otherwise.
+	observer *obs.Observer
 	// indexes registered through BuildIndex, offered to the SQL layer as
 	// access paths: relation -> column -> index.
 	indexes map[*storage.Relation]map[int]*btree.Index
@@ -153,15 +172,39 @@ func New(cfg Config) *System {
 	engine := exec.New(clock, store, params)
 	engine.BatchSize = cfg.BatchSize
 	engine.HashPartitions = cfg.HashPartitions
-	return &System{
-		cfg:     cfg,
-		clock:   clock,
-		disks:   disks,
-		store:   store,
-		engine:  engine,
-		params:  params,
-		indexes: make(map[*storage.Relation]map[int]*btree.Index),
+	var observer *obs.Observer
+	if cfg.Observe {
+		observer = obs.NewObserver()
+		engine.Trace = observer.Trace
+		engine.Metrics = observer.Metrics
 	}
+	return &System{
+		cfg:      cfg,
+		clock:    clock,
+		disks:    disks,
+		store:    store,
+		engine:   engine,
+		params:   params,
+		observer: observer,
+		indexes:  make(map[*storage.Relation]map[int]*btree.Index),
+	}
+}
+
+// Observer returns the system's tracer and metrics registry, or nil when
+// Config.Observe was false.
+func (s *System) Observer() *obs.Observer { return s.observer }
+
+// WriteChromeTrace writes everything the observer has collected — all
+// runs so far — as Chrome trace-event JSON, loadable in Perfetto or
+// chrome://tracing. One lane per slave backend and per disk; the current
+// metrics snapshot is embedded under otherData.metrics. It fails if the
+// system was built without Config.Observe.
+func (s *System) WriteChromeTrace(w io.Writer) error {
+	if s.observer == nil {
+		return fmt.Errorf("xprs: system built without Config.Observe")
+	}
+	snap := s.observer.Metrics.Snapshot()
+	return obs.WriteChromeTrace(w, s.observer.Trace.Events(), s.observer.Trace.Lanes(), &snap)
 }
 
 // BatchSize returns the executor's effective tuples-per-batch
@@ -240,17 +283,25 @@ func (s *System) IndexOn(rel *Relation, col int) *Index { return s.indexes[rel][
 // fragment graph under the given policy. The result temp and the chosen
 // plan are returned.
 func (s *System) ExecSQL(sql string, policy Policy) (*Temp, *OptResult, error) {
+	out, res, _, err := s.ExecSQLReport(sql, policy)
+	return out, res, err
+}
+
+// ExecSQLReport is ExecSQL returning the execution Report as well: the
+// scheduler trace with decision reasons, per-fragment statistics, and —
+// on an observed system — the full event trace and metrics snapshot.
+func (s *System) ExecSQLReport(sql string, policy Policy) (*Temp, *OptResult, *Report, error) {
 	parsed, err := sqlmini.Parse(sql)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	oq, binder, err := sqlmini.CompileWithBinder(parsed, s)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	res, err := s.Optimize(oq, OptOptions{Cost: ParCost, Shape: Bushy})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if len(parsed.Aggs) > 0 {
 		// Wrap the chosen plan in the aggregation and re-derive the
@@ -258,16 +309,16 @@ func (s *System) ExecSQL(sql string, policy Policy) (*Temp, *OptResult, error) {
 		// root fragment and materializes one row per group.
 		groupCol, funcs, err := sqlmini.ResolveAggregates(parsed, binder, res.RelOrder)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		wrapped := &plan.Agg{Child: res.Plan, GroupCol: groupCol, Funcs: funcs}
 		g, err := plan.Decompose(wrapped)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		ests, err := cost.EstimateGraph(s.params, g)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		res = &OptResult{
 			Plan: wrapped, Graph: g, Estimates: ests,
@@ -276,17 +327,17 @@ func (s *System) ExecSQL(sql string, policy Policy) (*Temp, *OptResult, error) {
 	}
 	specs, err := s.PlanTasks(res, 0)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	rep, err := s.Run(specs, policy, SchedOptions{})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	out := rep.Results[res.Graph.Root.ID]
 	if out == nil {
-		return nil, nil, fmt.Errorf("xprs: query produced no result temp")
+		return nil, nil, nil, fmt.Errorf("xprs: query produced no result temp")
 	}
-	return out, res, nil
+	return out, res, rep, nil
 }
 
 // SelectTask builds the §3 unit of work: a one-variable selection
