@@ -17,5 +17,5 @@ vet:
 	$(GO) vet ./...
 
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkPipelineThroughput|BenchmarkBufferPoolParallel' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineThroughput|BenchmarkBufferPoolParallel|BenchmarkSchedulerSubmit' -benchmem .
 	$(GO) run ./cmd/xprsbench -fig pipeline

@@ -12,6 +12,7 @@ package xprs
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"xprs/internal/core"
 	"xprs/internal/storage"
@@ -291,4 +292,46 @@ func BenchmarkBufferPoolParallel(b *testing.B) {
 			p += 37
 		}
 	})
+}
+
+// BenchmarkSchedulerSubmit prices the online submission path end to
+// end: a live scheduler session receiving a stream of single-task
+// queries via Submit/Wait, including admission, per-query report
+// sealing, and drain. This is the §2.5 service loop the session
+// refactor added; the CI bench smoke runs it once per push.
+func BenchmarkSchedulerSubmit(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New(DefaultConfig())
+		specs, err := StreamSpecs(s, 11, 6, 2*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var last time.Duration
+		err = s.Serve(InterAdj, SchedOptions{}, Admission{}, func(sc *Scheduler) error {
+			handles := make([]*QueryHandle, 0, len(specs))
+			for _, sp := range specs {
+				sp.Arrival = 0 // all queries land at once: worst-case concurrency
+				h, err := sc.Submit([]TaskSpec{sp})
+				if err != nil {
+					return err
+				}
+				handles = append(handles, h)
+			}
+			for _, h := range handles {
+				rep, err := h.Wait()
+				if err != nil {
+					return err
+				}
+				if end := rep.SubmittedAt + rep.Elapsed; end > last {
+					last = end
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(last.Seconds(), "virt-s/session")
+	}
 }

@@ -36,6 +36,9 @@ func main() {
 	out := flag.String("out", "BENCH_pipeline.json", "output file for the pipeline benchmark")
 	joinIters := flag.Int("joiniters", 40, "iterations for the join-kernel benchmark")
 	joinOut := flag.String("joinout", "BENCH_join.json", "output file for the join-kernel benchmark")
+	streamOut := flag.String("streamout", "BENCH_stream.json", "output file for the stream benchmark")
+	streamN := flag.Int("streamn", 16, "number of tasks in the stream benchmark")
+	streamMaxQ := flag.Int("streammaxq", 2, "admission concurrent-query cap for the limited stream run")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of one observed pipeline query to this file (with -fig pipeline)")
 	flag.Parse()
 
@@ -88,11 +91,36 @@ func main() {
 		return nil
 	})
 	run("stream", func() error {
-		rows, err := xprs.RunStream(cfg, *seed, 16, 2e9, xprs.SchedOptions{})
+		// Two passes through the online submission path: admission wide
+		// open, then capped at -streammaxq concurrent queries so the
+		// queue-wait columns are exercised.
+		open, err := xprs.RunStream(cfg, *seed, *streamN, 2e9, xprs.SchedOptions{}, xprs.Admission{})
 		if err != nil {
 			return err
 		}
-		fmt.Print(xprs.FormatStream(rows))
+		fmt.Print(xprs.FormatStream(open))
+		limited, err := xprs.RunStream(cfg, *seed, *streamN, 2e9, xprs.SchedOptions{},
+			xprs.Admission{MaxQueries: *streamMaxQ})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nwith admission cap of %d concurrent queries:\n", *streamMaxQ)
+		fmt.Print(xprs.FormatStream(limited))
+		payload := struct {
+			Seed       int64            `json:"seed"`
+			Tasks      int              `json:"tasks"`
+			MaxQueries int              `json:"admission_max_queries"`
+			Open       []xprs.StreamRow `json:"open"`
+			Limited    []xprs.StreamRow `json:"limited"`
+		}{Seed: *seed, Tasks: *streamN, MaxQueries: *streamMaxQ, Open: open, Limited: limited}
+		data, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*streamOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("stream: %d tasks via online Submit -> %s\n", *streamN, *streamOut)
 		return nil
 	})
 	run("ablations", func() error {

@@ -7,10 +7,17 @@
 //
 //	xprssched 65:10 10:10 50:8 12:6
 //	xprssched -policy inter-adj -sjf 65:10 10:10
+//	xprssched -serve -maxq 2 65:10 10:10 50:8@5 12:6@8
 //
 // Each argument is C:T where C is the task's sequential IO rate (io/s)
 // and T its sequential execution time (seconds). Append ":r" to mark a
 // random-IO task (an unclustered index scan): 40:5:r.
+//
+// By default tasks are fed to the analytic simulator. With -serve they
+// are materialized as real relations and submitted online — each task
+// one query — to a live scheduler session on the full executor; an
+// "@sec" suffix (50:8@5) sets the query's arrival time, and -maxq/-mem
+// apply admission limits so queue waits become visible.
 package main
 
 import (
@@ -19,9 +26,53 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"xprs"
 	"xprs/internal/core"
+	"xprs/internal/storage"
 )
+
+type taskArg struct {
+	raw     string
+	c, t    float64
+	seq     bool
+	arrival time.Duration
+}
+
+func parseArgs(args []string) ([]taskArg, error) {
+	var tasks []taskArg
+	for _, arg := range args {
+		spec := arg
+		var arrival time.Duration
+		if at := strings.IndexByte(spec, '@'); at >= 0 {
+			sec, err := strconv.ParseFloat(spec[at+1:], 64)
+			if err != nil || sec < 0 {
+				return nil, fmt.Errorf("bad arrival in %q", arg)
+			}
+			arrival = time.Duration(sec * float64(time.Second))
+			spec = spec[:at]
+		}
+		parts := strings.Split(spec, ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("bad task %q (want C:T or C:T:r, optional @sec)", arg)
+		}
+		c, err1 := strconv.ParseFloat(parts[0], 64)
+		t, err2 := strconv.ParseFloat(parts[1], 64)
+		if err1 != nil || err2 != nil || c <= 0 || t <= 0 {
+			return nil, fmt.Errorf("bad task %q", arg)
+		}
+		seq := true
+		if len(parts) == 3 {
+			if parts[2] != "r" {
+				return nil, fmt.Errorf("bad task suffix %q", parts[2])
+			}
+			seq = false
+		}
+		tasks = append(tasks, taskArg{raw: arg, c: c, t: t, seq: seq, arrival: arrival})
+	}
+	return tasks, nil
+}
 
 func main() {
 	policyName := flag.String("policy", "all", "intra-only, inter-no-adj, inter-adj, or all")
@@ -30,51 +81,24 @@ func main() {
 	procs := flag.Int("procs", 8, "processors")
 	bw := flag.Float64("bw", 240, "planning disk bandwidth (io/s)")
 	br := flag.Float64("br", 140, "random-interleave bandwidth endpoint (io/s)")
+	serve := flag.Bool("serve", false, "submit tasks online to a live scheduler session on the full executor instead of the analytic simulator")
+	maxq := flag.Int("maxq", 0, "admission cap on concurrent queries (serve mode; 0 = unlimited)")
+	mem := flag.Int64("mem", 0, "admission memory budget in bytes over task working sets (serve mode; 0 = unlimited)")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: xprssched [flags] C:T[:r] ...")
+		fmt.Fprintln(os.Stderr, "usage: xprssched [flags] C:T[:r][@sec] ...")
 		os.Exit(2)
 	}
-	var tasks []*core.Task
-	for i, arg := range flag.Args() {
-		parts := strings.Split(arg, ":")
-		if len(parts) < 2 || len(parts) > 3 {
-			fmt.Fprintf(os.Stderr, "xprssched: bad task %q (want C:T or C:T:r)\n", arg)
-			os.Exit(2)
-		}
-		c, err1 := strconv.ParseFloat(parts[0], 64)
-		t, err2 := strconv.ParseFloat(parts[1], 64)
-		if err1 != nil || err2 != nil || c <= 0 || t <= 0 {
-			fmt.Fprintf(os.Stderr, "xprssched: bad task %q\n", arg)
-			os.Exit(2)
-		}
-		seq := true
-		if len(parts) == 3 {
-			if parts[2] != "r" {
-				fmt.Fprintf(os.Stderr, "xprssched: bad task suffix %q\n", parts[2])
-				os.Exit(2)
-			}
-			seq = false
-		}
-		tasks = append(tasks, &core.Task{ID: i, Name: arg, T: t, D: c * t, SeqIO: seq})
+	args, err := parseArgs(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xprssched: %v\n", err)
+		os.Exit(2)
 	}
 
-	env := core.Env{NProcs: *procs, B: *bw, Bs: *bw, Br: *br}
 	opts := core.Options{SJF: *sjf}
 	if *fifo {
 		opts.Pairing = core.FIFOPairing
-	}
-
-	fmt.Printf("machine: N=%d B=%.0f io/s (Br=%.0f); threshold B/N = %.1f io/s\n\n",
-		env.NProcs, env.B, env.Br, env.Threshold())
-	for _, t := range tasks {
-		class := "CPU-bound"
-		if env.IOBound(t) {
-			class = "IO-bound"
-		}
-		fmt.Printf("  %-12s C=%5.1f io/s  T=%5.1fs  %-9s  maxp=%.2f\n",
-			t.Name, t.Rate(), t.T, class, env.MaxParallelism(t))
 	}
 
 	policies := []core.Policy{core.IntraOnly, core.InterNoAdj, core.InterAdj}
@@ -91,6 +115,34 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *serve {
+		if err := runServe(args, policies, opts, *procs, *maxq, *mem); err != nil {
+			fmt.Fprintln(os.Stderr, "xprssched:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var tasks []*core.Task
+	for i, a := range args {
+		if a.arrival > 0 {
+			fmt.Fprintf(os.Stderr, "xprssched: %q: @arrival is only honored with -serve\n", a.raw)
+		}
+		tasks = append(tasks, &core.Task{ID: i, Name: a.raw, T: a.t, D: a.c * a.t, SeqIO: a.seq})
+	}
+	env := core.Env{NProcs: *procs, B: *bw, Bs: *bw, Br: *br}
+
+	fmt.Printf("machine: N=%d B=%.0f io/s (Br=%.0f); threshold B/N = %.1f io/s\n\n",
+		env.NProcs, env.B, env.Br, env.Threshold())
+	for _, t := range tasks {
+		class := "CPU-bound"
+		if env.IOBound(t) {
+			class = "IO-bound"
+		}
+		fmt.Printf("  %-12s C=%5.1f io/s  T=%5.1fs  %-9s  maxp=%.2f\n",
+			t.Name, t.Rate(), t.T, class, env.MaxParallelism(t))
+	}
+
 	for _, pol := range policies {
 		res, err := core.Simulate(env, pol, opts, core.MakeSimTasks(tasks))
 		if err != nil {
@@ -102,4 +154,84 @@ func main() {
 			fmt.Printf("  %s\n", ev)
 		}
 	}
+}
+
+// runServe materializes each C:T argument as a real relation sized to
+// scan at rate C for T seconds and submits it as a single-task query to
+// a live scheduler session at its @arrival instant.
+func runServe(args []taskArg, policies []core.Policy, opts core.Options, procs, maxq int, mem int64) error {
+	adm := xprs.Admission{MaxQueries: maxq, MemoryBudget: mem}
+	for _, a := range args {
+		if !a.seq {
+			fmt.Fprintf(os.Stderr, "xprssched: %q: the :r (random IO) suffix is ignored in -serve mode (tasks run as sequential scans)\n", a.raw)
+		}
+	}
+	for _, pol := range policies {
+		cfg := xprs.DefaultConfig()
+		cfg.NProcs = procs
+		sys := xprs.New(cfg)
+		specs := make([]xprs.TaskSpec, len(args))
+		for i, a := range args {
+			// Size the relation so a serial scan takes ~T seconds at C io/s.
+			size := sys.Params().TupleSizeForRate(a.c)
+			perPage := float64(storage.TuplesPerPage(int(size)))
+			ntuples := int64(a.t * perPage * a.c)
+			if ntuples < 100 {
+				ntuples = 100
+			}
+			name := fmt.Sprintf("t%02d", i)
+			if _, err := sys.CreateScanRelation(name, a.c, ntuples); err != nil {
+				return err
+			}
+			spec, err := sys.SelectTask(i, name, 0, 1<<30)
+			if err != nil {
+				return err
+			}
+			spec.Task.Name = a.raw
+			specs[i] = spec
+		}
+		reps := make([]*xprs.Report, len(args))
+		err := sys.Serve(pol, opts, adm, func(sc *xprs.Scheduler) error {
+			base := sc.Now()
+			handles := make([]*xprs.QueryHandle, len(args))
+			for i, a := range args {
+				sc.SleepUntil(base + a.arrival)
+				h, err := sc.Submit([]xprs.TaskSpec{specs[i]})
+				if err != nil {
+					return err
+				}
+				handles[i] = h
+			}
+			for i, h := range handles {
+				rep, err := h.Wait()
+				if err != nil {
+					return err
+				}
+				reps[i] = rep
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		var makespan time.Duration
+		for _, rep := range reps {
+			if end := rep.SubmittedAt + rep.Elapsed; end > makespan {
+				makespan = end
+			}
+		}
+		fmt.Printf("\n%s — makespan %.3fs (online submission", pol, makespan.Seconds())
+		if maxq > 0 || mem > 0 {
+			fmt.Printf(", admission maxq=%d mem=%d", maxq, mem)
+		}
+		fmt.Println(")")
+		for i, rep := range reps {
+			fmt.Printf("  %-14s submitted %7.2fs  queued %7.2fs  response %8.2fs\n",
+				args[i].raw, rep.SubmittedAt.Seconds(), rep.QueueWait.Seconds(), rep.Elapsed.Seconds())
+			for _, ev := range rep.Trace {
+				fmt.Printf("      %v\n", ev)
+			}
+		}
+	}
+	return nil
 }

@@ -1,28 +1,35 @@
 // Multiquery: the multi-user scenario of §3 — a mix of IO-bound and
-// CPU-bound selection tasks from different "users", run under all three
-// scheduling algorithms. This is a hands-on miniature of Figure 7.
+// CPU-bound selection tasks from different "users", each submitted
+// online to a live scheduler session at its own arrival time, run under
+// all three scheduling algorithms. With an admission cap of two
+// concurrent queries, late arrivals queue and their reports carry the
+// wait. This is a hands-on miniature of Figure 7 on the §2.5 online
+// path.
 package main
 
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"xprs"
 )
 
 func main() {
 	type user struct {
-		name   string
-		rate   float64 // sequential-scan IO rate (io/s)
-		tuples int64
-		lo, hi int32
+		name    string
+		rate    float64 // sequential-scan IO rate (io/s)
+		tuples  int64
+		lo, hi  int32
+		arrival time.Duration // when the user submits
 	}
 	users := []user{
-		{"u1_bigscan", 65, 40000, 0, 1 << 30}, // extremely IO-bound
-		{"u2_filter", 9, 120000, 500, 90000},  // extremely CPU-bound
-		{"u3_report", 55, 30000, 0, 1 << 30},  // IO-bound
-		{"u4_crunch", 12, 100000, 0, 50000},   // CPU-bound
+		{"u1_bigscan", 65, 40000, 0, 1 << 30, 0},               // extremely IO-bound
+		{"u2_filter", 9, 120000, 500, 90000, 0},                // extremely CPU-bound
+		{"u3_report", 55, 30000, 0, 1 << 30, 2 * time.Second},  // IO-bound, arrives late
+		{"u4_crunch", 12, 100000, 0, 50000, 4 * time.Second},   // CPU-bound, arrives later
 	}
+	adm := xprs.Admission{MaxQueries: 2}
 
 	for _, policy := range []xprs.Policy{xprs.IntraOnly, xprs.InterNoAdj, xprs.InterAdj} {
 		// Fresh system per policy so runs are independent and identical
@@ -39,21 +46,54 @@ func main() {
 			}
 			specs = append(specs, spec)
 		}
-		rep, err := sys.Run(specs, policy, xprs.SchedOptions{})
+
+		// One live session per policy: the driver goroutine sleeps to each
+		// user's arrival instant, submits their query online, and collects
+		// the per-query reports afterwards.
+		reps := make([]*xprs.Report, len(users))
+		err := sys.Serve(policy, xprs.SchedOptions{}, adm, func(sc *xprs.Scheduler) error {
+			base := sc.Now()
+			handles := make([]*xprs.QueryHandle, len(users))
+			for i, u := range users {
+				sc.SleepUntil(base + u.arrival)
+				h, err := sc.Submit([]xprs.TaskSpec{specs[i]})
+				if err != nil {
+					return err
+				}
+				handles[i] = h
+			}
+			for i, h := range handles {
+				rep, err := h.Wait()
+				if err != nil {
+					return err
+				}
+				reps[i] = rep
+			}
+			return nil
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-18s elapsed %8.2fs  (disk util %.0f%%: %d seq + %d almost-seq + %d random reads)\n",
-			policy, rep.Elapsed.Seconds(),
-			100*rep.Disk.Busy.Seconds()/(rep.Elapsed.Seconds()*4),
-			rep.Disk.Reads[0], rep.Disk.Reads[1], rep.Disk.Reads[2])
-		for _, ev := range rep.Trace {
-			fmt.Printf("    %v\n", ev)
+
+		var makespan time.Duration
+		for _, rep := range reps {
+			if end := rep.SubmittedAt + rep.Elapsed; end > makespan {
+				makespan = end
+			}
+		}
+		fmt.Printf("%-18s makespan %8.2fs\n", policy, makespan.Seconds())
+		for i, rep := range reps {
+			fmt.Printf("    %-12s submitted %6.2fs  queued %6.2fs  response %8.2fs\n",
+				users[i].name, rep.SubmittedAt.Seconds(), rep.QueueWait.Seconds(), rep.Elapsed.Seconds())
+			for _, ev := range rep.Trace {
+				fmt.Printf("        %v\n", ev)
+			}
 		}
 	}
-	fmt.Println("\nINTER-WITH-ADJ pairs the most IO-bound with the most CPU-bound task at")
-	fmt.Println("their IO-CPU balance point and re-adjusts the survivor on every completion.")
-	fmt.Println("Each trace line carries the scheduler's reason — the balance-point solve")
-	fmt.Println("(x_i/x_j → n_i/n_j at B_eff) behind every pairing, why solo fallbacks fire,")
-	fmt.Println("and what triggered each dynamic adjustment.")
+	fmt.Println("\nQueries are submitted online while earlier ones execute; the controller")
+	fmt.Println("re-solves the IO-CPU balance point on every arrival and completion. With")
+	fmt.Println("the admission cap of 2, u3 and u4 wait in the admission queue and their")
+	fmt.Println("reports carry the queue wait. Each trace line carries the scheduler's")
+	fmt.Println("reason — the balance-point solve (x_i/x_j → n_i/n_j at B_eff) behind")
+	fmt.Println("every pairing, why solo fallbacks fire, and what triggered adjustments.")
 }

@@ -1,9 +1,10 @@
 package xprs
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 
@@ -391,7 +392,7 @@ func RunAblations(cfg Config, seed int64) ([]AblationRow, error) {
 		for _, f := range rep.Finish {
 			finishes = append(finishes, f)
 		}
-		sort.Slice(finishes, func(i, j int) bool { return finishes[i] < finishes[j] })
+		slices.SortFunc(finishes, func(a, b time.Duration) int { return cmp.Compare(a, b) })
 		for _, f := range finishes {
 			mean += f
 		}

@@ -24,6 +24,10 @@ func FormatAnalyze(res *OptResult, rep *Report) string {
 		b.WriteString("\n")
 	}
 	fmt.Fprintf(&b, "Execution (virtual time): total %.3fs\n", rep.Elapsed.Seconds())
+	if rep.QueueWait > 0 {
+		fmt.Fprintf(&b, "Admission: queued %.3fs (submitted %.3fs, admitted %.3fs)\n",
+			rep.QueueWait.Seconds(), rep.SubmittedAt.Seconds(), rep.AdmittedAt.Seconds())
+	}
 	ids := make([]int, 0, len(rep.Frags))
 	for id := range rep.Frags {
 		ids = append(ids, id)

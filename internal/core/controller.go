@@ -128,11 +128,14 @@ type runningInfo struct {
 // arrival sequence (§2.5: "all we need to do is to represent S_io and
 // S_cpu as queues").
 type Controller struct {
-	env     Env
-	policy  Policy
-	opts    Options
-	sio     []*Task // queued IO-bound tasks
-	scpu    []*Task // queued CPU-bound tasks
+	env    Env
+	policy Policy
+	opts   Options
+	// sio and scpu are the paper's §2.5 queues as first-class state:
+	// tasks arrive online through Submit and wait here until the policy
+	// picks them.
+	sio     TaskQueue // queued IO-bound tasks
+	scpu    TaskQueue // queued CPU-bound tasks
 	running []runningInfo
 }
 
@@ -160,14 +163,14 @@ func (c *Controller) Submit(tasks ...*Task) Decision {
 		class := "CPU-bound"
 		queue := "S_cpu"
 		if c.env.IOBound(t) {
-			c.sio = append(c.sio, t)
+			c.sio.Push(t)
 			class, queue = "IO-bound", "S_io"
 		} else {
-			c.scpu = append(c.scpu, t)
+			c.scpu.Push(t)
 		}
 		notes = append(notes, Note{TaskID: t.ID, Kind: "classify", Detail: fmt.Sprintf(
 			"%s: C=%.1f io/s vs threshold B/N=%.1f; queued on %s (queues io=%d cpu=%d)",
-			class, t.Rate(), c.env.Threshold(), queue, len(c.sio), len(c.scpu))})
+			class, t.Rate(), c.env.Threshold(), queue, c.sio.Len(), c.scpu.Len())})
 	}
 	d := c.schedule()
 	d.Notes = append(notes, d.Notes...)
@@ -192,12 +195,12 @@ func (c *Controller) Complete(t *Task) Decision {
 
 // Idle reports whether nothing is running and nothing is queued.
 func (c *Controller) Idle() bool {
-	return len(c.running) == 0 && len(c.sio) == 0 && len(c.scpu) == 0
+	return len(c.running) == 0 && c.sio.Empty() && c.scpu.Empty()
 }
 
 // QueueLengths returns the numbers of queued IO-bound and CPU-bound
 // tasks.
-func (c *Controller) QueueLengths() (io, cpu int) { return len(c.sio), len(c.scpu) }
+func (c *Controller) QueueLengths() (io, cpu int) { return c.sio.Len(), c.scpu.Len() }
 
 // Running returns the running tasks and their degrees in start order.
 func (c *Controller) Running() []Start {
@@ -239,7 +242,7 @@ func (c *Controller) scheduleIntraOnly() Decision {
 // soloReason explains running a task alone at maximum parallelism.
 func (c *Controller) soloReason(t *Task, why string) string {
 	return fmt.Sprintf("%s; solo at maxp=%.2f (queues io=%d cpu=%d)",
-		why, c.env.MaxParallelism(t), len(c.sio), len(c.scpu))
+		why, c.env.MaxParallelism(t), c.sio.Len(), c.scpu.Len())
 }
 
 // pairReason renders the §2.3 balance-point solve behind a paired start.
@@ -428,23 +431,19 @@ func (c *Controller) popBestFill(r runningInfo, avail int) *Task {
 			bestDist, best, bestQueue = dist, idx, queue
 		}
 	}
-	for i, t := range c.sio {
+	for i, t := range c.sio.Tasks() {
 		consider(0, i, t)
 	}
-	for i, t := range c.scpu {
+	for i, t := range c.scpu.Tasks() {
 		consider(1, i, t)
 	}
 	if best < 0 {
 		return nil
 	}
 	if bestQueue == 0 {
-		t := c.sio[best]
-		c.sio = append(c.sio[:best], c.sio[best+1:]...)
-		return t
+		return c.sio.RemoveAt(best)
 	}
-	t := c.scpu[best]
-	c.scpu = append(c.scpu[:best], c.scpu[best+1:]...)
-	return t
+	return c.scpu.RemoveAt(best)
 }
 
 // --- queue helpers ----------------------------------------------------------
@@ -476,9 +475,9 @@ func (c *Controller) popOpposite(t *Task) *Task {
 // pushFront returns a popped task to the head of its queue.
 func (c *Controller) pushFront(t *Task) {
 	if c.env.IOBound(t) {
-		c.sio = append([]*Task{t}, c.sio...)
+		c.sio.PushFront(t)
 	} else {
-		c.scpu = append([]*Task{t}, c.scpu...)
+		c.scpu.PushFront(t)
 	}
 }
 
@@ -486,83 +485,67 @@ func (c *Controller) pushFront(t *Task) {
 // IO-bound (greatest rate), or the shortest when SJF is set, or the
 // queue head under FIFOPairing.
 func (c *Controller) popIO() *Task {
-	return popBy(&c.sio, c.opts, func(a, b *Task) bool { return a.Rate() > b.Rate() })
+	return c.popFrom(&c.sio, func(a, b *Task) bool { return a.Rate() > b.Rate() })
 }
 
 // popCPU removes the next CPU-bound task: the most CPU-bound (smallest
 // rate), or per SJF/FIFO options.
 func (c *Controller) popCPU() *Task {
-	return popBy(&c.scpu, c.opts, func(a, b *Task) bool { return a.Rate() < b.Rate() })
+	return c.popFrom(&c.scpu, func(a, b *Task) bool { return a.Rate() < b.Rate() })
+}
+
+// popFrom removes the next task from one queue per the configured
+// heuristic (the given order, or SJF, or plain FIFO).
+func (c *Controller) popFrom(q *TaskQueue, better func(a, b *Task) bool) *Task {
+	switch {
+	case c.opts.SJF:
+		return q.PopShortest()
+	case c.opts.Pairing == FIFOPairing:
+		return q.PopHead()
+	default:
+		return q.PopMin(better)
+	}
 }
 
 // popAny removes the next task regardless of class (INTRA-ONLY order):
 // arrival order, or shortest-job-first under SJF.
 func (c *Controller) popAny() *Task {
-	if len(c.sio) == 0 && len(c.scpu) == 0 {
+	if c.sio.Empty() && c.scpu.Empty() {
 		return nil
 	}
 	// Merge view preserving arrival order by ID is not possible (IDs are
 	// caller-assigned), so INTRA-ONLY serves IO queue and CPU queue
 	// round-robin by queue head arrival; with SJF it serves the shorter
 	// job of the two heads.
-	pick := func() *Task {
-		if len(c.sio) == 0 {
-			return c.popCPUHead()
-		}
-		if len(c.scpu) == 0 {
-			return c.popIOHead()
-		}
-		if c.opts.SJF {
-			if shorter(c.headSJF(c.sio), c.headSJF(c.scpu)) {
-				return c.popSJF(&c.sio)
-			}
-			return c.popSJF(&c.scpu)
-		}
-		// FIFO across both queues: prefer the IO queue head, matching the
-		// paper's bias toward draining IO-bound work first.
+	if c.sio.Empty() {
+		return c.popCPUHead()
+	}
+	if c.scpu.Empty() {
 		return c.popIOHead()
 	}
-	return pick()
+	if c.opts.SJF {
+		if shorter(c.sio.PeekShortest(), c.scpu.PeekShortest()) {
+			return c.sio.PopShortest()
+		}
+		return c.scpu.PopShortest()
+	}
+	// FIFO across both queues: prefer the IO queue head, matching the
+	// paper's bias toward draining IO-bound work first.
+	return c.popIOHead()
 }
 
 func (c *Controller) popIOHead() *Task {
 	if c.opts.SJF {
-		return c.popSJF(&c.sio)
+		return c.sio.PopShortest()
 	}
-	t := c.sio[0]
-	c.sio = c.sio[1:]
-	return t
+	return c.sio.PopHead()
 }
 
 func (c *Controller) popCPUHead() *Task {
 	if c.opts.SJF {
-		return c.popSJF(&c.scpu)
+		return c.scpu.PopShortest()
 	}
-	t := c.scpu[0]
-	c.scpu = c.scpu[1:]
-	return t
-}
-
-func (c *Controller) headSJF(q []*Task) *Task {
-	best := q[0]
-	for _, t := range q[1:] {
-		if shorter(t, best) {
-			best = t
-		}
-	}
-	return best
-}
-
-func (c *Controller) popSJF(q *[]*Task) *Task {
-	bi := 0
-	for i, t := range *q {
-		if shorter(t, (*q)[bi]) {
-			bi = i
-		}
-	}
-	t := (*q)[bi]
-	*q = append((*q)[:bi], (*q)[bi+1:]...)
-	return t
+	return c.scpu.PopHead()
 }
 
 func shorter(a, b *Task) bool {
@@ -570,45 +553,6 @@ func shorter(a, b *Task) bool {
 		return a.T < b.T
 	}
 	return a.ID < b.ID
-}
-
-// popBy removes the task minimizing the given order (or per options).
-func popBy(q *[]*Task, opts Options, better func(a, b *Task) bool) *Task {
-	if len(*q) == 0 {
-		return nil
-	}
-	switch {
-	case opts.SJF:
-		return popSJFQ(q)
-	case opts.Pairing == FIFOPairing:
-		t := (*q)[0]
-		*q = (*q)[1:]
-		return t
-	default:
-		bi := 0
-		for i, t := range *q {
-			if better(t, (*q)[bi]) {
-				bi = i
-			} else if !better((*q)[bi], t) && t.ID < (*q)[bi].ID {
-				bi = i // deterministic tie-break by ID
-			}
-		}
-		t := (*q)[bi]
-		*q = append((*q)[:bi], (*q)[bi+1:]...)
-		return t
-	}
-}
-
-func popSJFQ(q *[]*Task) *Task {
-	bi := 0
-	for i, t := range *q {
-		if shorter(t, (*q)[bi]) {
-			bi = i
-		}
-	}
-	t := (*q)[bi]
-	*q = append((*q)[:bi], (*q)[bi+1:]...)
-	return t
 }
 
 // sortTasksByID orders tasks deterministically (test helper shared by

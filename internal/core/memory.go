@@ -42,12 +42,12 @@ func (c *Controller) popOppositeWithMem(t *Task) *Task {
 		q = &c.sio
 	}
 	// Collect the candidate per the heuristic but skip over-budget ones.
-	skipped := make([]*Task, 0, len(*q))
+	skipped := make([]*Task, 0, q.Len())
 	defer func() {
 		// Skipped tasks return to the queue head in their original order.
-		*q = append(skipped, *q...)
+		q.PushFrontAll(skipped)
 	}()
-	for len(*q) > 0 {
+	for q.Len() > 0 {
 		var cand *Task
 		if c.env.IOBound(t) {
 			cand = c.popCPU()

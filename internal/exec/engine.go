@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"slices"
 	"sync"
 	"time"
 
@@ -62,7 +61,11 @@ type Engine struct {
 
 	events *vclock.Mailbox
 
-	// Run-scoped observability state.
+	// sched is the live scheduler session, if any; an Engine hosts at
+	// most one at a time.
+	sched *Scheduler
+
+	// Session-scoped observability state (anchored by NewScheduler).
 	runStart time.Duration
 	schedTid int
 	mBatches *obs.Counter
@@ -232,11 +235,21 @@ type FragStat struct {
 // Elapsed is the fragment's wall (virtual) time.
 func (s FragStat) Elapsed() time.Duration { return s.Finish - s.Start }
 
-// Report is the outcome of a Run.
+// Report is the outcome of one query (a Run call or a Scheduler
+// Submit).
 type Report struct {
-	// Elapsed is the makespan of the whole task set.
+	// Elapsed is the query's response time: submission to completion of
+	// its last task, queue wait included.
 	Elapsed time.Duration
-	// Finish maps task ID to completion time.
+	// SubmittedAt and AdmittedAt are session-relative instants: when the
+	// query entered the scheduler and when it passed admission. Both are
+	// zero for the one-shot Run path.
+	SubmittedAt, AdmittedAt time.Duration
+	// QueueWait is the time spent in the admission queue
+	// (AdmittedAt - SubmittedAt).
+	QueueWait time.Duration
+	// Finish maps task ID to completion time (session-relative, like
+	// SubmittedAt).
 	Finish map[int]time.Duration
 	// Results holds the output temp of every RootOut fragment, by task
 	// ID.
@@ -255,228 +268,33 @@ type Report struct {
 	Metrics obs.Snapshot
 }
 
-// events posted to the master's mailbox.
+// taskDone is posted to the session mailbox when the last slave of a
+// task exits.
 type taskDone struct {
 	task *core.Task
 	rt   *runningTask
 	err  error
 }
 
-type arrivalTick struct{ id int }
-
-// Run executes the task set under the given policy and returns the
-// report. The calling goroutine is the master backend; under a virtual
-// clock it must execute inside clock.Run (the xprs facade does this).
-// An Engine runs one task set at a time.
+// Run executes one pre-declared task set under the given policy and
+// returns its report: it opens a scheduler session, submits the specs as
+// a single query, waits for it, and drains. The calling goroutine is
+// the client backend; under a virtual clock it must execute inside
+// clock.Run (the xprs facade does this). An Engine runs one session at
+// a time; use NewScheduler directly for online multi-query submission.
 func (e *Engine) Run(specs []TaskSpec, policy core.Policy, opts core.Options) (*Report, error) {
-	byID := make(map[int]*TaskSpec, len(specs))
-	for i := range specs {
-		s := &specs[i]
-		if s.Task == nil || s.Frag == nil {
-			return nil, fmt.Errorf("exec: spec %d missing task or fragment", i)
-		}
-		if _, dup := byID[s.Task.ID]; dup {
-			return nil, fmt.Errorf("exec: duplicate task ID %d", s.Task.ID)
-		}
-		byID[s.Task.ID] = s
-	}
-	for _, s := range byID {
-		for _, dep := range s.DependsOn {
-			if _, ok := byID[dep]; !ok {
-				return nil, fmt.Errorf("exec: task %d depends on unknown %d", s.Task.ID, dep)
-			}
-		}
-	}
-
-	e.events = vclock.NewMailbox(e.Clock)
-	e.Store.Disks.ResetStats()
-	ctl := core.NewController(e.Env, policy, opts)
-	rep := &Report{
-		Finish:  make(map[int]time.Duration),
-		Results: make(map[int]*Temp),
-		Frags:   make(map[int]FragStat),
-	}
-	start := e.Clock.Now()
-	e.runStart = start
-	e.schedTid = e.Trace.Lane(obs.PidSched, "master")
-	traceMark := e.Trace.Mark()
-	e.mBatches = e.Metrics.Counter("exec.batches")
-	e.mTuples = e.Metrics.Counter("exec.tuples_in")
-	e.mReparts = e.Metrics.Counter("exec.repartitions")
-	e.mSlaves = e.Metrics.Counter("exec.slaves_spawned")
-	e.mTasks = e.Metrics.Counter("exec.tasks_completed")
-	e.hTaskUs = e.Metrics.Histogram("exec.task_micros")
-	e.Store.Disks.SetObserver(e.Trace, e.Metrics, start)
-	e.Store.RegisterMetrics(e.Metrics)
-
-	// Run-scoped materialization state, keyed by fragment identity.
-	temps := make(map[*plan.Fragment]*Temp)
-	hashes := make(map[*plan.Fragment]*HashTable)
-	running := make(map[int]*runningTask)
-	done := make(map[int]bool)
-	submitted := make(map[int]bool)
-	arrived := make(map[int]bool)
-
-	// Arrival timers post ticks through the mailbox. Iterate in ID order
-	// so timer registration order is deterministic.
-	allIDs := make([]int, 0, len(byID))
-	for id := range byID {
-		allIDs = append(allIDs, id)
-	}
-	slices.Sort(allIDs)
-	for _, id := range allIDs {
-		s := byID[id]
-		if s.Arrival <= 0 {
-			arrived[s.Task.ID] = true
-			continue
-		}
-		at := start + s.Arrival
-		id := s.Task.ID
-		e.Clock.Go(func() {
-			if v, ok := e.Clock.(*vclock.Virtual); ok {
-				v.SleepUntil(at)
-			} else {
-				e.Clock.Sleep(at - e.Clock.Now())
-			}
-			e.events.Post(arrivalTick{id: id})
-		})
-	}
-
-	apply := func(d core.Decision) error {
-		if e.Trace != nil {
-			for _, n := range d.Notes {
-				e.schedEvent(n.Kind, fmt.Sprintf("task %d: %s", n.TaskID, n.Detail))
-			}
-		}
-		for _, a := range d.Adjusts {
-			rt := running[a.Task.ID]
-			if rt == nil {
-				return fmt.Errorf("exec: adjust for task %d which is not running", a.Task.ID)
-			}
-			rep.Trace = append(rep.Trace, TraceEvent{Time: e.Clock.Now() - start, Kind: "adjust", TaskID: a.Task.ID, Degree: a.Degree, Reason: a.Reason})
-			if e.Trace != nil {
-				e.schedEvent("adjust", fmt.Sprintf("task %d to degree %d: %s", a.Task.ID, a.Degree, a.Reason))
-			}
-			if err := rt.adjust(a.Degree); err != nil {
-				return err
-			}
-		}
-		for _, st := range d.Starts {
-			spec := byID[st.Task.ID]
-			fr, err := newFragRun(e, spec.Frag, temps, hashes)
-			if err != nil {
-				return err
-			}
-			drv, err := e.driverFor(fr)
-			if err != nil {
-				return err
-			}
-			fr.obsTid = e.Trace.Lane(obs.PidTasks, st.Task.Name)
-			rt := &runningTask{eng: e, task: st.Task, fr: fr, drv: drv, slaves: make(map[int]*slaveState), startAt: e.now()}
-			running[st.Task.ID] = rt
-			rep.Trace = append(rep.Trace, TraceEvent{Time: e.Clock.Now() - start, Kind: "start", TaskID: st.Task.ID, Degree: st.Degree, Reason: st.Reason})
-			if e.Trace != nil {
-				e.schedEvent("start", fmt.Sprintf("task %d (%s) at degree %d: %s", st.Task.ID, st.Task.Name, st.Degree, st.Reason))
-			}
-			if err := rt.launch(st.Degree); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	ready := func(s *TaskSpec) bool {
-		if submitted[s.Task.ID] || !arrived[s.Task.ID] {
-			return false
-		}
-		for _, dep := range s.DependsOn {
-			if !done[dep] {
-				return false
-			}
-		}
-		return true
-	}
-
-	submitReady := func() error {
-		var batch []*core.Task
-		ids := make([]int, 0, len(byID))
-		for id := range byID {
-			ids = append(ids, id)
-		}
-		slices.Sort(ids)
-		for _, id := range ids {
-			if s := byID[id]; ready(s) {
-				submitted[id] = true
-				batch = append(batch, s.Task)
-			}
-		}
-		if len(batch) == 0 {
-			return nil
-		}
-		return apply(ctl.Submit(batch...))
-	}
-
-	if err := submitReady(); err != nil {
+	s := NewScheduler(e, policy, opts, AdmissionConfig{})
+	h, err := s.Submit(specs)
+	if err != nil {
+		s.Drain()
 		return nil, err
 	}
-
-	for len(done) < len(byID) {
-		switch ev := e.events.Wait().(type) {
-		case taskDone:
-			if ev.err != nil {
-				return nil, fmt.Errorf("exec: task %d failed: %w", ev.task.ID, ev.err)
-			}
-			id := ev.task.ID
-			done[id] = true
-			delete(running, id)
-			now := e.Clock.Now() - start
-			rep.Finish[id] = now
-			rep.Trace = append(rep.Trace, TraceEvent{Time: now, Kind: "complete", TaskID: id, Degree: 0})
-			st := ev.rt.fragStat(now)
-			rep.Frags[id] = st
-			e.mTasks.Inc()
-			e.hTaskUs.Observe(int64(st.Elapsed() / time.Microsecond))
-			if e.Trace != nil {
-				detail := fmt.Sprintf("degrees %v; %d slaves, %d repartitions; in=%d out=%d tuples, %d batches",
-					st.Degrees, st.Slaves, st.Repartitions, st.TuplesIn, st.TuplesOut, st.Batches)
-				e.Trace.Span(st.Start, st.Elapsed(), obs.PidTasks, ev.rt.fr.obsTid, "frag", ev.task.Name, detail)
-				e.schedEvent("complete", fmt.Sprintf("task %d (%s): %s", id, ev.task.Name, detail))
-			}
-			// Publish the fragment's output for consumers.
-			frag := byID[id].Frag
-			switch frag.Out {
-			case plan.HashOut:
-				hashes[frag] = ev.rt.fr.outHash
-			case plan.RootOut:
-				temps[frag] = ev.rt.fr.outTemp
-				rep.Results[id] = ev.rt.fr.outTemp
-			default:
-				temps[frag] = ev.rt.fr.outTemp
-			}
-			// Tell the controller about the completion before submitting
-			// the tasks it unblocked, so its running-set is consistent.
-			if err := apply(ctl.Complete(ev.task)); err != nil {
-				return nil, err
-			}
-			if err := submitReady(); err != nil {
-				return nil, err
-			}
-		case arrivalTick:
-			arrived[ev.id] = true
-			if err := submitReady(); err != nil {
-				return nil, err
-			}
-		default:
-			return nil, fmt.Errorf("exec: unexpected event %T", ev)
-		}
+	rep, err := h.Wait()
+	if derr := s.Drain(); err == nil {
+		err = derr
 	}
-	rep.Elapsed = e.Clock.Now() - start
-	rep.Disk = e.Store.Disks.Stats()
-	if e.Trace != nil {
-		rep.Events = e.Trace.Since(traceMark)
-	}
-	if e.Metrics != nil {
-		rep.Metrics = e.Metrics.Snapshot()
+	if err != nil {
+		return nil, err
 	}
 	return rep, nil
 }

@@ -1,0 +1,659 @@
+package exec
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+
+	"xprs/internal/core"
+	"xprs/internal/obs"
+	"xprs/internal/plan"
+	"xprs/internal/vclock"
+)
+
+// This file is the long-lived scheduler service: the §2.5 "continuous
+// sequence of tasks" execution model. Where the original Engine.Run
+// accepted one pre-declared task set and blocked until it drained, a
+// Scheduler stays alive across queries: clients Submit work at any time
+// (each Submit is one query — a set of dependent task specs), the
+// controller re-solves the IO/CPU balance point on every arrival and
+// completion, and each query's caller Waits on its own QueryHandle. An
+// admission controller sits in front of the §2.5 S_io/S_cpu queues:
+// queries that would blow the memory budget (or the concurrent-query
+// cap) wait in a FIFO admission queue, and the time they spend there is
+// reported as Report.QueueWait and as instants on the scheduler's trace
+// lane.
+
+// AdmissionConfig gates whole queries before their tasks reach the
+// controller's S_io/S_cpu queues. This is coarser than — and composes
+// with — core.Options.MemoryBudget, which vetoes pairing two admitted
+// memory-hungry tasks side by side.
+type AdmissionConfig struct {
+	// MemoryBudget caps the combined MemBytes of every task of all
+	// admitted (running or controller-queued) queries; 0 disables the
+	// constraint. A query too big for the budget on an idle system is
+	// still admitted alone — like the §5 memory rule, the constraint only
+	// gates adding more work.
+	MemoryBudget int64
+	// MaxQueries caps the number of concurrently admitted queries; 0
+	// disables the constraint.
+	MaxQueries int
+}
+
+// QueryHandle is a client's ticket for one submitted query.
+type QueryHandle struct {
+	id    int
+	sched *Scheduler
+	done  chan struct{}
+
+	mu      sync.Mutex
+	settled bool
+	rep     *Report
+	err     error
+}
+
+// ID returns the scheduler-assigned query ID.
+func (h *QueryHandle) ID() int { return h.id }
+
+// Wait blocks (accounted to the clock) until the query completes and
+// returns its Report. At most one goroutine may block in Wait per
+// handle; once the first Wait returns, further calls return immediately
+// with the same result.
+func (h *QueryHandle) Wait() (*Report, error) {
+	h.mu.Lock()
+	if h.settled {
+		rep, err := h.rep, h.err
+		h.mu.Unlock()
+		return rep, err
+	}
+	h.mu.Unlock()
+	h.sched.eng.Clock.WaitSignal(h.done)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.rep, h.err
+}
+
+// settle publishes the query outcome and wakes the waiter. Signal
+// latches, so a settle before the first Wait is not lost.
+func (h *QueryHandle) settle(rep *Report, err error) {
+	h.mu.Lock()
+	h.settled = true
+	h.rep, h.err = rep, err
+	h.mu.Unlock()
+	h.sched.eng.Clock.Signal(h.done)
+}
+
+// query is the master-side state of one submitted query.
+type query struct {
+	id     int
+	handle *QueryHandle
+	specs  map[int]*TaskSpec
+	ids    []int // task IDs in ascending order
+	mem    int64 // sum of task MemBytes, the admission charge
+
+	submitRel time.Duration // session-relative submission instant
+	admitRel  time.Duration
+	admitted  bool
+	traceMark int
+
+	arrived   map[int]bool
+	submitted map[int]bool // handed to the controller
+	done      map[int]bool
+	started   int // tasks handed to the controller
+	finished  int // completions observed (real or synthesized)
+	failed    error
+
+	rep *Report
+}
+
+// complete reports whether nothing the controller owns is still pending.
+// A healthy query finishes when every task is done; a failed one once
+// every task already handed to the controller has drained (tasks never
+// submitted stay unrun).
+func (q *query) complete() bool {
+	if q.failed != nil {
+		return q.finished == q.started
+	}
+	return q.finished == len(q.specs)
+}
+
+// Events posted to the scheduler's mailbox (taskDone, posted by slave
+// exits, is declared next to the running-task machinery in engine.go).
+type submitMsg struct{ q *query }
+
+type drainMsg struct{ ack chan struct{} }
+
+type arrivalTick struct{ qid, id int }
+
+// Scheduler is the persistent scheduling service. Create one with
+// NewScheduler (which spawns the master backend on a clock-registered
+// goroutine), Submit queries from any clock-registered goroutine, and
+// Drain before leaving the clock's scope. An Engine hosts at most one
+// live Scheduler at a time.
+type Scheduler struct {
+	eng *Engine
+	ctl *core.Controller
+	adm AdmissionConfig
+
+	events *vclock.Mailbox
+	start  time.Duration
+
+	// mu guards the client-facing state (query-ID allocation, live task
+	// IDs, the drained flag) and orders client Posts against Drain's.
+	mu      sync.Mutex
+	nextQID int
+	closed  bool
+	liveIDs map[int]int // task ID -> query ID, for cross-query collisions
+
+	// Master-owned state (touched only by the loop goroutine).
+	queries   map[int]*query
+	byTask    map[int]*query
+	admitQ    []*query // FIFO admission queue
+	nAdmitted int
+	memInUse  int64
+	inflight  int
+	running   map[int]*runningTask
+	temps     map[*plan.Fragment]*Temp
+	hashes    map[*plan.Fragment]*HashTable
+	draining  bool
+	drainAck  chan struct{}
+
+	// Admission observability (nil when metrics are off; methods no-op).
+	gQDepthIO *obs.Gauge
+	gQDepthCP *obs.Gauge
+	gAdmitQ   *obs.Gauge
+	gInflight *obs.Gauge
+	hWaitUs   *obs.Histogram
+}
+
+// NewScheduler starts a scheduler service on the engine. The engine's
+// disk statistics are reset and its observability hooks re-anchored at
+// the session start, exactly as the one-shot Engine.Run used to do per
+// run; a session therefore reports Disk statistics cumulative from its
+// own start.
+func NewScheduler(e *Engine, policy core.Policy, opts core.Options, adm AdmissionConfig) *Scheduler {
+	if e.sched != nil {
+		panic("exec: engine already hosts a live scheduler (Drain the previous one first)")
+	}
+	s := &Scheduler{
+		eng:     e,
+		ctl:     core.NewController(e.Env, policy, opts),
+		adm:     adm,
+		events:  vclock.NewMailbox(e.Clock),
+		liveIDs: make(map[int]int),
+		queries: make(map[int]*query),
+		byTask:  make(map[int]*query),
+		running: make(map[int]*runningTask),
+		temps:   make(map[*plan.Fragment]*Temp),
+		hashes:  make(map[*plan.Fragment]*HashTable),
+	}
+	e.sched = s
+	e.events = s.events
+	e.Store.Disks.ResetStats()
+	s.start = e.Clock.Now()
+	e.runStart = s.start
+	e.schedTid = e.Trace.Lane(obs.PidSched, "master")
+	e.mBatches = e.Metrics.Counter("exec.batches")
+	e.mTuples = e.Metrics.Counter("exec.tuples_in")
+	e.mReparts = e.Metrics.Counter("exec.repartitions")
+	e.mSlaves = e.Metrics.Counter("exec.slaves_spawned")
+	e.mTasks = e.Metrics.Counter("exec.tasks_completed")
+	e.hTaskUs = e.Metrics.Histogram("exec.task_micros")
+	e.Store.Disks.SetObserver(e.Trace, e.Metrics, s.start)
+	e.Store.RegisterMetrics(e.Metrics)
+	s.gQDepthIO = e.Metrics.Gauge("sched.queue_depth_io")
+	s.gQDepthCP = e.Metrics.Gauge("sched.queue_depth_cpu")
+	s.gAdmitQ = e.Metrics.Gauge("sched.admission_queued")
+	s.gInflight = e.Metrics.Gauge("sched.queries_running")
+	s.hWaitUs = e.Metrics.Histogram("sched.queue_wait_micros")
+	e.Clock.Go(s.loop)
+	return s
+}
+
+// now returns session-relative virtual time.
+func (s *Scheduler) now() time.Duration { return s.eng.Clock.Now() - s.start }
+
+// Submit registers one query — a set of dependent task specs — with the
+// service and returns its handle. Validation errors are synchronous; the
+// query itself is admitted and executed asynchronously. Task IDs must be
+// unique within the query and against every in-flight query. A spec's
+// Arrival is relative to the query's admission instant (zero, the
+// common case for online submission, means "run as soon as admitted").
+func (s *Scheduler) Submit(specs []TaskSpec) (*QueryHandle, error) {
+	byID := make(map[int]*TaskSpec, len(specs))
+	ids := make([]int, 0, len(specs))
+	var mem int64
+	for i := range specs {
+		sp := &specs[i]
+		if sp.Task == nil || sp.Frag == nil {
+			return nil, fmt.Errorf("exec: spec %d missing task or fragment", i)
+		}
+		if _, dup := byID[sp.Task.ID]; dup {
+			return nil, fmt.Errorf("exec: duplicate task ID %d", sp.Task.ID)
+		}
+		byID[sp.Task.ID] = sp
+		ids = append(ids, sp.Task.ID)
+		mem += sp.Task.MemBytes
+	}
+	for _, sp := range byID {
+		for _, dep := range sp.DependsOn {
+			if _, ok := byID[dep]; !ok {
+				return nil, fmt.Errorf("exec: task %d depends on unknown %d", sp.Task.ID, dep)
+			}
+		}
+	}
+	slices.Sort(ids)
+
+	q := &query{
+		specs: byID,
+		ids:   ids,
+		mem:   mem,
+		rep: &Report{
+			Finish:  make(map[int]time.Duration),
+			Results: make(map[int]*Temp),
+			Frags:   make(map[int]FragStat),
+		},
+	}
+
+	// Register and post under mu: a Submit that passes the closed check
+	// must enqueue its message ahead of Drain's, or the loop could exit
+	// with the query unprocessed and strand the waiter.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("exec: scheduler is drained")
+	}
+	for _, id := range ids {
+		if qid, live := s.liveIDs[id]; live {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("exec: task ID %d already live in query %d", id, qid)
+		}
+	}
+	q.id = s.nextQID
+	s.nextQID++
+	for _, id := range ids {
+		s.liveIDs[id] = q.id
+	}
+	q.traceMark = s.eng.Trace.Mark()
+	q.handle = &QueryHandle{id: q.id, sched: s, done: make(chan struct{})}
+	s.events.Post(submitMsg{q: q})
+	s.mu.Unlock()
+	return q.handle, nil
+}
+
+// Drain blocks until every submitted query has completed, then stops the
+// master loop and releases the engine for a future session. The
+// scheduler accepts no submissions afterwards; calls after the first
+// return immediately.
+func (s *Scheduler) Drain() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ack := make(chan struct{})
+	s.events.Post(drainMsg{ack: ack})
+	s.mu.Unlock()
+	s.eng.Clock.WaitSignal(ack)
+	s.eng.sched = nil
+	return nil
+}
+
+// loop is the master backend: the single consumer of the event mailbox
+// and the only goroutine that touches the controller.
+func (s *Scheduler) loop() {
+	for {
+		if s.draining && s.inflight == 0 {
+			break
+		}
+		switch ev := s.events.Wait().(type) {
+		case submitMsg:
+			s.onSubmit(ev.q)
+		case arrivalTick:
+			if q, ok := s.queries[ev.qid]; ok {
+				q.arrived[ev.id] = true
+				s.submitReady()
+			}
+		case taskDone:
+			s.onTaskDone(ev)
+		case drainMsg:
+			s.draining = true
+			s.drainAck = ev.ack
+		default:
+			panic(fmt.Sprintf("exec: unexpected event %T", ev))
+		}
+	}
+	if s.drainAck != nil {
+		s.eng.Clock.Signal(s.drainAck)
+	}
+}
+
+// onSubmit records a freshly submitted query and either admits it or
+// parks it in the admission queue.
+func (s *Scheduler) onSubmit(q *query) {
+	q.submitRel = s.now()
+	q.arrived = make(map[int]bool, len(q.ids))
+	q.submitted = make(map[int]bool, len(q.ids))
+	q.done = make(map[int]bool, len(q.ids))
+	s.queries[q.id] = q
+	for _, id := range q.ids {
+		s.byTask[id] = q
+	}
+	s.inflight++
+	s.gInflight.Set(int64(s.inflight))
+	s.eng.schedEvent("submit", fmt.Sprintf(
+		"query %d: %d tasks, %d B working set", q.id, len(q.ids), q.mem))
+	if s.admits(q) {
+		s.admit(q)
+		return
+	}
+	s.admitQ = append(s.admitQ, q)
+	s.gAdmitQ.Set(int64(len(s.admitQ)))
+	s.eng.schedEvent("admission-wait", fmt.Sprintf(
+		"query %d queued: %d B in use of %d budget, %d/%d queries admitted",
+		q.id, s.memInUse, s.adm.MemoryBudget, s.nAdmitted, s.adm.MaxQueries))
+}
+
+// admits reports whether the query fits the admission budget right now.
+// Like the §5 memory rule, a lone query always fits: the constraint only
+// gates adding work next to what is already admitted.
+func (s *Scheduler) admits(q *query) bool {
+	if s.nAdmitted == 0 {
+		return true
+	}
+	if s.adm.MaxQueries > 0 && s.nAdmitted >= s.adm.MaxQueries {
+		return false
+	}
+	if s.adm.MemoryBudget > 0 && s.memInUse+q.mem > s.adm.MemoryBudget {
+		return false
+	}
+	return true
+}
+
+// admit moves a query past the admission controller: stamps its
+// queue-wait, registers its arrival timers, and hands its ready tasks to
+// the controller.
+func (s *Scheduler) admit(q *query) {
+	q.admitted = true
+	q.admitRel = s.now()
+	s.nAdmitted++
+	s.memInUse += q.mem
+	wait := q.admitRel - q.submitRel
+	s.hWaitUs.Observe(int64(wait / time.Microsecond))
+	if wait > 0 {
+		s.eng.schedEvent("admit", fmt.Sprintf(
+			"query %d admitted after %v in the admission queue", q.id, wait))
+	} else {
+		s.eng.schedEvent("admit", fmt.Sprintf("query %d admitted immediately", q.id))
+	}
+	// Arrival timers post ticks through the mailbox, exactly as the
+	// one-shot batch path registered them. Iterate in ID order so timer
+	// registration order — and therefore equal-instant tie-breaking in
+	// the virtual clock's timer heap — is deterministic.
+	for _, id := range q.ids {
+		sp := q.specs[id]
+		if sp.Arrival <= 0 {
+			q.arrived[id] = true
+			continue
+		}
+		at := s.eng.Clock.Now() + sp.Arrival
+		qid, tid := q.id, id
+		s.eng.Clock.Go(func() {
+			if v, ok := s.eng.Clock.(*vclock.Virtual); ok {
+				v.SleepUntil(at)
+			} else {
+				s.eng.Clock.Sleep(at - s.eng.Clock.Now())
+			}
+			s.events.Post(arrivalTick{qid: qid, id: tid})
+		})
+	}
+	if len(q.specs) == 0 {
+		// Degenerate empty query: complete on the spot.
+		s.finishQuery(q)
+		return
+	}
+	s.submitReady()
+}
+
+// ready reports whether a task can be handed to the controller.
+func (s *Scheduler) ready(q *query, sp *TaskSpec) bool {
+	if q.failed != nil || !q.admitted {
+		return false
+	}
+	id := sp.Task.ID
+	if q.submitted[id] || !q.arrived[id] {
+		return false
+	}
+	for _, dep := range sp.DependsOn {
+		if !q.done[dep] {
+			return false
+		}
+	}
+	return true
+}
+
+// submitReady hands every newly ready task — across all admitted
+// queries, in global task-ID order — to the controller in one batch and
+// applies the resulting decision.
+func (s *Scheduler) submitReady() {
+	ids := make([]int, 0, len(s.byTask))
+	for id := range s.byTask {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	var batch []*core.Task
+	for _, id := range ids {
+		q := s.byTask[id]
+		if sp := q.specs[id]; s.ready(q, sp) {
+			q.submitted[id] = true
+			q.started++
+			batch = append(batch, sp.Task)
+		}
+	}
+	if len(batch) == 0 {
+		return
+	}
+	s.apply(s.ctl.Submit(batch...))
+}
+
+// observeQueues publishes the controller's S_io/S_cpu depths as gauges.
+func (s *Scheduler) observeQueues() {
+	if s.eng.Metrics == nil {
+		return
+	}
+	nio, ncpu := s.ctl.QueueLengths()
+	s.gQDepthIO.Set(int64(nio))
+	s.gQDepthCP.Set(int64(ncpu))
+}
+
+// apply executes a controller decision: adjust running tasks, launch
+// started ones. A failure poisons the owning query rather than the whole
+// service.
+func (s *Scheduler) apply(d core.Decision) {
+	e := s.eng
+	defer s.observeQueues()
+	if e.Trace != nil {
+		for _, n := range d.Notes {
+			e.schedEvent(n.Kind, fmt.Sprintf("task %d: %s", n.TaskID, n.Detail))
+		}
+	}
+	for _, a := range d.Adjusts {
+		rt := s.running[a.Task.ID]
+		if rt == nil {
+			s.poison(s.byTask[a.Task.ID], fmt.Errorf("exec: adjust for task %d which is not running", a.Task.ID))
+			continue
+		}
+		q := s.byTask[a.Task.ID]
+		q.rep.Trace = append(q.rep.Trace, TraceEvent{Time: s.now(), Kind: "adjust", TaskID: a.Task.ID, Degree: a.Degree, Reason: a.Reason})
+		if e.Trace != nil {
+			e.schedEvent("adjust", fmt.Sprintf("task %d to degree %d: %s", a.Task.ID, a.Degree, a.Reason))
+		}
+		if err := rt.adjust(a.Degree); err != nil {
+			// The round was aborted; the slaves keep running with their old
+			// assignments and will still post a completion.
+			s.poison(q, err)
+		}
+	}
+	for _, st := range d.Starts {
+		q := s.byTask[st.Task.ID]
+		spec := q.specs[st.Task.ID]
+		fr, err := newFragRun(e, spec.Frag, s.temps, s.hashes)
+		if err != nil {
+			s.abortStart(q, st.Task, err)
+			continue
+		}
+		drv, err := e.driverFor(fr)
+		if err != nil {
+			s.abortStart(q, st.Task, err)
+			continue
+		}
+		fr.obsTid = e.Trace.Lane(obs.PidTasks, st.Task.Name)
+		rt := &runningTask{eng: e, task: st.Task, fr: fr, drv: drv, slaves: make(map[int]*slaveState), startAt: e.now()}
+		s.running[st.Task.ID] = rt
+		q.rep.Trace = append(q.rep.Trace, TraceEvent{Time: s.now(), Kind: "start", TaskID: st.Task.ID, Degree: st.Degree, Reason: st.Reason})
+		if e.Trace != nil {
+			e.schedEvent("start", fmt.Sprintf("task %d (%s) at degree %d: %s", st.Task.ID, st.Task.Name, st.Degree, st.Reason))
+		}
+		if err := rt.launch(st.Degree); err != nil {
+			// launch only fails before any slave spawns, so no completion
+			// will ever be posted for this task.
+			delete(s.running, st.Task.ID)
+			s.abortStart(q, st.Task, err)
+		}
+	}
+}
+
+// poison marks a query failed with the first error observed. Tasks it
+// already handed to the controller drain normally; unsubmitted ones
+// never run.
+func (s *Scheduler) poison(q *query, err error) {
+	if q != nil && q.failed == nil {
+		q.failed = err
+	}
+}
+
+// abortStart handles a task the controller just started but which could
+// never launch a slave: no completion event will arrive, so it
+// synthesizes one to keep the controller's running-set bookkeeping (and
+// the query's drain accounting) consistent.
+func (s *Scheduler) abortStart(q *query, t *core.Task, err error) {
+	s.poison(q, err)
+	q.done[t.ID] = true
+	q.finished++
+	s.apply(s.ctl.Complete(t))
+	s.settleIfComplete(q)
+}
+
+// onTaskDone is the completion path: bookkeeping, output publication,
+// controller notification, admission of waiting queries, and new-task
+// submission — in the same order the one-shot loop used.
+func (s *Scheduler) onTaskDone(ev taskDone) {
+	e := s.eng
+	id := ev.task.ID
+	q := s.byTask[id]
+	if q == nil || q.done[id] {
+		return
+	}
+	if ev.err != nil {
+		s.poison(q, fmt.Errorf("exec: task %d failed: %w", id, ev.err))
+	}
+	q.done[id] = true
+	q.finished++
+	delete(s.running, id)
+	now := s.now()
+	if ev.err == nil {
+		q.rep.Finish[id] = now
+		q.rep.Trace = append(q.rep.Trace, TraceEvent{Time: now, Kind: "complete", TaskID: id, Degree: 0})
+		st := ev.rt.fragStat(now)
+		q.rep.Frags[id] = st
+		e.mTasks.Inc()
+		e.hTaskUs.Observe(int64(st.Elapsed() / time.Microsecond))
+		if e.Trace != nil {
+			detail := fmt.Sprintf("degrees %v; %d slaves, %d repartitions; in=%d out=%d tuples, %d batches",
+				st.Degrees, st.Slaves, st.Repartitions, st.TuplesIn, st.TuplesOut, st.Batches)
+			e.Trace.Span(st.Start, st.Elapsed(), obs.PidTasks, ev.rt.fr.obsTid, "frag", ev.task.Name, detail)
+			e.schedEvent("complete", fmt.Sprintf("task %d (%s): %s", id, ev.task.Name, detail))
+		}
+		// Publish the fragment's output for consumers.
+		frag := q.specs[id].Frag
+		switch frag.Out {
+		case plan.HashOut:
+			s.hashes[frag] = ev.rt.fr.outHash
+		case plan.RootOut:
+			s.temps[frag] = ev.rt.fr.outTemp
+			q.rep.Results[id] = ev.rt.fr.outTemp
+		default:
+			s.temps[frag] = ev.rt.fr.outTemp
+		}
+	}
+	// Tell the controller about the completion before admitting or
+	// submitting the tasks it unblocked, so its running-set is
+	// consistent.
+	s.apply(s.ctl.Complete(ev.task))
+	s.settleIfComplete(q)
+	s.submitReady()
+}
+
+// settleIfComplete finalizes a query whose controller-owned work has
+// fully drained.
+func (s *Scheduler) settleIfComplete(q *query) {
+	if q.complete() && s.queries[q.id] != nil {
+		s.finishQuery(q)
+	}
+}
+
+// finishQuery seals the query's report, releases its admission charge,
+// wakes its waiter, and admits queued queries that now fit.
+func (s *Scheduler) finishQuery(q *query) {
+	e := s.eng
+	now := s.now()
+	rep := q.rep
+	rep.SubmittedAt = q.submitRel
+	rep.AdmittedAt = q.admitRel
+	rep.QueueWait = q.admitRel - q.submitRel
+	rep.Elapsed = now - q.submitRel
+	rep.Disk = e.Store.Disks.Stats()
+	if e.Trace != nil {
+		rep.Events = e.Trace.Since(q.traceMark)
+	}
+	if e.Metrics != nil {
+		rep.Metrics = e.Metrics.Snapshot()
+	}
+
+	// Release master-side state.
+	delete(s.queries, q.id)
+	for _, id := range q.ids {
+		delete(s.byTask, id)
+		delete(s.temps, q.specs[id].Frag)
+		delete(s.hashes, q.specs[id].Frag)
+	}
+	s.inflight--
+	s.nAdmitted--
+	s.memInUse -= q.mem
+	s.gInflight.Set(int64(s.inflight))
+	s.mu.Lock()
+	for _, id := range q.ids {
+		delete(s.liveIDs, id)
+	}
+	s.mu.Unlock()
+	e.schedEvent("query-done", fmt.Sprintf(
+		"query %d: %d tasks in %v (queue wait %v)", q.id, len(q.ids), rep.Elapsed, rep.QueueWait))
+
+	if q.failed != nil {
+		q.handle.settle(nil, q.failed)
+	} else {
+		q.handle.settle(rep, nil)
+	}
+
+	// Head-of-line admission: wake queued queries in FIFO order until the
+	// head no longer fits, so the oldest waiter starts exactly when the
+	// budget frees.
+	for len(s.admitQ) > 0 && s.admits(s.admitQ[0]) {
+		next := s.admitQ[0]
+		s.admitQ = s.admitQ[1:]
+		s.gAdmitQ.Set(int64(len(s.admitQ)))
+		s.admit(next)
+	}
+}

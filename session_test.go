@@ -1,0 +1,258 @@
+package xprs
+
+import (
+	"maps"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSubmitMatchesBatch is the refactor's equivalence sweep: a
+// pre-declared batch run through the legacy Run entry point and the same
+// workload submitted online — each task a single-query Submit at its
+// virtual arrival instant — must produce byte-identical per-task Finish
+// times and makespan, at every machine width. The two paths drive the
+// controller through the same event sequence at the same virtual
+// instants; this pins that property.
+func TestSubmitMatchesBatch(t *testing.T) {
+	const (
+		seed   = 7
+		nTasks = 8
+		maxGap = 2 * time.Second
+	)
+	for _, procs := range []int{1, 3, 8} {
+		cfg := DefaultConfig()
+		cfg.NProcs = procs
+
+		// Legacy path: one pre-declared batch with Arrival stamps.
+		bsys := New(cfg)
+		bspecs, err := StreamSpecs(bsys, seed, nTasks, maxGap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brep, err := bsys.Run(bspecs, InterAdj, SchedOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Online path: same workload, each task submitted live at its
+		// arrival instant.
+		osys := New(cfg)
+		ospecs, err := StreamSpecs(osys, seed, nTasks, maxGap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var reps []*Report
+		err = osys.Serve(InterAdj, SchedOptions{}, Admission{}, func(sc *Scheduler) error {
+			base := sc.Now()
+			handles := make([]*QueryHandle, 0, len(ospecs))
+			for _, sp := range ospecs {
+				sc.SleepUntil(base + sp.Arrival)
+				sp.Arrival = 0 // the submission instant is the arrival
+				h, err := sc.Submit([]TaskSpec{sp})
+				if err != nil {
+					return err
+				}
+				handles = append(handles, h)
+			}
+			for _, h := range handles {
+				rep, err := h.Wait()
+				if err != nil {
+					return err
+				}
+				reps = append(reps, rep)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		finish := make(map[int]time.Duration)
+		var makespan time.Duration
+		for _, rep := range reps {
+			for id, f := range rep.Finish {
+				finish[id] = f
+			}
+			if end := rep.SubmittedAt + rep.Elapsed; end > makespan {
+				makespan = end
+			}
+		}
+		if !maps.Equal(finish, brep.Finish) {
+			t.Fatalf("procs=%d: online finish times diverge from batch:\nbatch:  %v\nonline: %v",
+				procs, brep.Finish, finish)
+		}
+		if makespan != brep.Elapsed {
+			t.Fatalf("procs=%d: online makespan %v != batch elapsed %v", procs, makespan, brep.Elapsed)
+		}
+	}
+}
+
+// admissionPair builds two single-task queries on a fresh system with
+// explicit working-set sizes for admission tests.
+func admissionPair(t *testing.T, memA, memB int64) (*System, TaskSpec, TaskSpec) {
+	t.Helper()
+	sys := New(DefaultConfig())
+	for _, name := range []string{"adm_a", "adm_b"} {
+		if _, err := sys.CreateScanRelation(name, 60, 8000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	specA, err := sys.SelectTask(0, "adm_a", 0, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specB, err := sys.SelectTask(1, "adm_b", 0, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specA.Task.MemBytes = memA
+	specB.Task.MemBytes = memB
+	return sys, specA, specB
+}
+
+// TestAdmissionMemoryBudget submits two queries whose combined working
+// set exceeds the admission memory budget: the second must wait in the
+// admission queue and start exactly when the first completes and frees
+// the budget.
+func TestAdmissionMemoryBudget(t *testing.T) {
+	const budget = 1 << 20
+	sys, specA, specB := admissionPair(t, budget, budget)
+	var repA, repB *Report
+	err := sys.Serve(InterAdj, SchedOptions{}, Admission{MemoryBudget: budget}, func(sc *Scheduler) error {
+		hA, err := sc.Submit([]TaskSpec{specA})
+		if err != nil {
+			return err
+		}
+		hB, err := sc.Submit([]TaskSpec{specB})
+		if err != nil {
+			return err
+		}
+		if repA, err = hA.Wait(); err != nil {
+			return err
+		}
+		repB, err = hB.Wait()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repA.QueueWait != 0 {
+		t.Fatalf("first query queued %v; want immediate admission", repA.QueueWait)
+	}
+	if repB.QueueWait <= 0 {
+		t.Fatal("second query was not queued despite exceeding the memory budget")
+	}
+	freed := repA.SubmittedAt + repA.Elapsed
+	if repB.AdmittedAt != freed {
+		t.Fatalf("second query admitted at %v; budget freed at %v", repB.AdmittedAt, freed)
+	}
+	if repB.QueueWait != repB.AdmittedAt-repB.SubmittedAt {
+		t.Fatalf("QueueWait %v inconsistent with SubmittedAt %v / AdmittedAt %v",
+			repB.QueueWait, repB.SubmittedAt, repB.AdmittedAt)
+	}
+}
+
+// TestAdmissionMaxQueries exercises the concurrent-query cap: with
+// MaxQueries=1 the second query starts exactly when the first finishes.
+func TestAdmissionMaxQueries(t *testing.T) {
+	sys, specA, specB := admissionPair(t, 0, 0)
+	var repA, repB *Report
+	err := sys.Serve(InterAdj, SchedOptions{}, Admission{MaxQueries: 1}, func(sc *Scheduler) error {
+		hA, err := sc.Submit([]TaskSpec{specA})
+		if err != nil {
+			return err
+		}
+		hB, err := sc.Submit([]TaskSpec{specB})
+		if err != nil {
+			return err
+		}
+		if repA, err = hA.Wait(); err != nil {
+			return err
+		}
+		repB, err = hB.Wait()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repB.AdmittedAt != repA.SubmittedAt+repA.Elapsed {
+		t.Fatalf("second query admitted at %v; first finished at %v",
+			repB.AdmittedAt, repA.SubmittedAt+repA.Elapsed)
+	}
+}
+
+// TestSubmitAfterServeFails pins drain semantics: the session a Serve
+// callback receives is closed once Serve returns, and late Submits are
+// rejected rather than stranded.
+func TestSubmitAfterServeFails(t *testing.T) {
+	sys, specA, _ := admissionPair(t, 0, 0)
+	var leaked *Scheduler
+	err := sys.Serve(InterAdj, SchedOptions{}, Admission{}, func(sc *Scheduler) error {
+		leaked = sc
+		h, err := sc.Submit([]TaskSpec{specA})
+		if err != nil {
+			return err
+		}
+		_, err = h.Wait()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leaked.Submit([]TaskSpec{specA}); err == nil || !strings.Contains(err.Error(), "drained") {
+		t.Fatalf("Submit after Serve returned err=%v; want drained error", err)
+	}
+}
+
+// TestSubmitTaskIDCollision pins the cross-query ID check: a task ID
+// still live in one query cannot be reused by another submission.
+func TestSubmitTaskIDCollision(t *testing.T) {
+	sys, specA, specB := admissionPair(t, 0, 0)
+	specB.Task.ID = specA.Task.ID
+	err := sys.Serve(InterAdj, SchedOptions{}, Admission{}, func(sc *Scheduler) error {
+		hA, err := sc.Submit([]TaskSpec{specA})
+		if err != nil {
+			return err
+		}
+		if _, err := sc.Submit([]TaskSpec{specB}); err == nil || !strings.Contains(err.Error(), "already live") {
+			t.Fatalf("colliding submit err=%v; want already-live error", err)
+		}
+		_, err = hA.Wait()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPercentileNearestRank pins the satellite fix: the old index
+// (n-1)*95/100 under-reported small samples (for n=12 it returned the
+// 11th value); nearest-rank returns ceil(p*n/100).
+func TestPercentileNearestRank(t *testing.T) {
+	ds := func(ns ...int) []time.Duration {
+		out := make([]time.Duration, len(ns))
+		for i, n := range ns {
+			out[i] = time.Duration(n)
+		}
+		return out
+	}
+	cases := []struct {
+		sorted []time.Duration
+		p      int
+		want   time.Duration
+	}{
+		{nil, 95, 0},
+		{ds(5), 95, 5},
+		{ds(1, 2), 50, 1},
+		{ds(1, 2), 95, 2},
+		{ds(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12), 95, 12}, // old formula gave 11
+		{ds(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 90, 9},
+		{ds(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 100, 10},
+	}
+	for _, c := range cases {
+		if got := percentile(c.sorted, c.p); got != c.want {
+			t.Fatalf("percentile(%v, %d) = %v; want %v", c.sorted, c.p, got, c.want)
+		}
+	}
+}

@@ -1,9 +1,10 @@
 package xprs
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 
@@ -14,9 +15,11 @@ import (
 // The continuous-sequence experiment: §2.5 notes the algorithm "can be
 // easily extended to handle a continuous sequence of tasks ... all we
 // need to do is to represent S_io and S_cpu as queues". This experiment
-// exercises exactly that: a multi-user stream of selection tasks with
-// random interarrival times, run under each policy, measuring both
-// makespan and per-task response times.
+// exercises exactly that through the online path: a multi-user stream of
+// selection tasks with random interarrival times, each submitted to a
+// live scheduler session at its actual virtual arrival instant, run
+// under each policy, measuring makespan, per-task response times, and
+// admission queue waits.
 
 // StreamRow is one policy's result on the task stream.
 type StreamRow struct {
@@ -24,86 +27,157 @@ type StreamRow struct {
 	// Elapsed is the time from first arrival to last completion.
 	Elapsed time.Duration
 	// MeanResponse and P95Response summarize task arrival-to-completion
-	// latencies.
+	// latencies (nearest-rank percentile).
 	MeanResponse time.Duration
 	P95Response  time.Duration
+	// MeanQueueWait and P95QueueWait summarize time spent in the
+	// admission queue before the scheduler accepted each task; zero
+	// unless the stream runs with admission limits.
+	MeanQueueWait time.Duration
+	P95QueueWait  time.Duration
 }
 
-// RunStream generates n mixed-class selection tasks with uniform random
-// interarrival in [0, maxGap) and runs the stream under each policy. SJF
-// reports its response-time advantage through the same harness when
-// enabled via opts.
-func RunStream(cfg Config, seed int64, n int, maxGap time.Duration, opts SchedOptions) ([]StreamRow, error) {
+// StreamSpecs generates the stream's workload on the given system: n
+// mixed-class selection tasks with uniform random interarrival in
+// [0, maxGap), their backing relations built in the system's store and
+// each spec's Arrival stamped. The schedule is a pure function of the
+// seed, so every policy (on its own fresh system) replays the identical
+// stream.
+func StreamSpecs(s *System, seed int64, n int, maxGap time.Duration) ([]TaskSpec, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("xprs: stream needs at least 1 task")
 	}
-	var rows []StreamRow
-	for _, pol := range Policies() {
-		s := New(cfg)
-		rng := rand.New(rand.NewSource(seed))
-		var specs []TaskSpec
-		arrival := time.Duration(0)
-		arrivals := make(map[int]time.Duration, n)
-		for i := 0; i < n; i++ {
-			// Alternate class draws like the random-mix workload.
-			var rate float64
-			if rng.Intn(2) == 0 {
-				lo, hi := workload.IOBound.RateRange()
-				rate = lo + rng.Float64()*(hi-lo)
-			} else {
-				lo, hi := workload.CPUBound.RateRange()
-				rate = lo + rng.Float64()*(hi-lo)
-			}
-			targetT := 5 + rng.Float64()*25
-			size := s.params.TupleSizeForRate(rate)
-			perPage := float64(storage.TuplesPerPage(int(size)))
-			ntuples := int64(targetT * perPage * rate)
-			if ntuples < 100 {
-				ntuples = 100
-			}
-			name := fmt.Sprintf("s%d_%02d", pol, i)
-			if _, err := workload.BuildScanRelation(s.store, s.params, name, rate, ntuples); err != nil {
-				return nil, err
-			}
-			spec, err := s.SelectTask(i, name, 0, 1<<30)
-			if err != nil {
-				return nil, err
-			}
-			spec.Arrival = arrival
-			arrivals[i] = arrival
-			specs = append(specs, spec)
-			arrival += time.Duration(rng.Int63n(int64(maxGap)))
+	if maxGap <= 0 {
+		return nil, fmt.Errorf("xprs: stream needs a positive max interarrival gap")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	specs := make([]TaskSpec, 0, n)
+	arrival := time.Duration(0)
+	for i := 0; i < n; i++ {
+		// Alternate class draws like the random-mix workload.
+		var rate float64
+		if rng.Intn(2) == 0 {
+			lo, hi := workload.IOBound.RateRange()
+			rate = lo + rng.Float64()*(hi-lo)
+		} else {
+			lo, hi := workload.CPUBound.RateRange()
+			rate = lo + rng.Float64()*(hi-lo)
 		}
-		rep, err := s.Run(specs, pol, opts)
+		targetT := 5 + rng.Float64()*25
+		size := s.params.TupleSizeForRate(rate)
+		perPage := float64(storage.TuplesPerPage(int(size)))
+		ntuples := int64(targetT * perPage * rate)
+		if ntuples < 100 {
+			ntuples = 100
+		}
+		name := fmt.Sprintf("st_%02d", i)
+		if _, err := workload.BuildScanRelation(s.store, s.params, name, rate, ntuples); err != nil {
+			return nil, err
+		}
+		spec, err := s.SelectTask(i, name, 0, 1<<30)
 		if err != nil {
 			return nil, err
 		}
-		var responses []time.Duration
-		var sum time.Duration
-		for id, fin := range rep.Finish {
-			r := fin - arrivals[id]
-			responses = append(responses, r)
-			sum += r
+		spec.Arrival = arrival
+		specs = append(specs, spec)
+		arrival += time.Duration(rng.Int63n(int64(maxGap)))
+	}
+	return specs, nil
+}
+
+// RunStream runs the generated stream under each policy through a live
+// scheduler session: a driver goroutine sleeps to each task's virtual
+// arrival instant and submits it online as a single-task query, so the
+// controller re-solves the balance point on every real arrival. SJF
+// reports its response-time advantage through the same harness when
+// enabled via opts; adm applies admission limits (zero value: none).
+func RunStream(cfg Config, seed int64, n int, maxGap time.Duration, opts SchedOptions, adm Admission) ([]StreamRow, error) {
+	var rows []StreamRow
+	for _, pol := range Policies() {
+		s := New(cfg)
+		specs, err := StreamSpecs(s, seed, n, maxGap)
+		if err != nil {
+			return nil, err
 		}
-		sort.Slice(responses, func(i, j int) bool { return responses[i] < responses[j] })
-		row := StreamRow{Policy: pol, Elapsed: rep.Elapsed}
+		var reps []*Report
+		err = s.Serve(pol, opts, adm, func(sc *Scheduler) error {
+			base := sc.Now()
+			handles := make([]*QueryHandle, 0, len(specs))
+			for _, sp := range specs {
+				sc.SleepUntil(base + sp.Arrival)
+				sp.Arrival = 0 // the submission instant IS the arrival
+				h, err := sc.Submit([]TaskSpec{sp})
+				if err != nil {
+					return err
+				}
+				handles = append(handles, h)
+			}
+			for _, h := range handles {
+				rep, err := h.Wait()
+				if err != nil {
+					return err
+				}
+				reps = append(reps, rep)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := StreamRow{Policy: pol}
+		responses := make([]time.Duration, 0, len(reps))
+		waits := make([]time.Duration, 0, len(reps))
+		var rsum, wsum time.Duration
+		for _, rep := range reps {
+			responses = append(responses, rep.Elapsed)
+			rsum += rep.Elapsed
+			waits = append(waits, rep.QueueWait)
+			wsum += rep.QueueWait
+			if end := rep.SubmittedAt + rep.Elapsed; end > row.Elapsed {
+				row.Elapsed = end
+			}
+		}
+		slices.SortFunc(responses, func(a, b time.Duration) int { return cmp.Compare(a, b) })
+		slices.SortFunc(waits, func(a, b time.Duration) int { return cmp.Compare(a, b) })
 		if len(responses) > 0 {
-			row.MeanResponse = sum / time.Duration(len(responses))
-			row.P95Response = responses[(len(responses)-1)*95/100]
+			row.MeanResponse = rsum / time.Duration(len(responses))
+			row.P95Response = percentile(responses, 95)
+			row.MeanQueueWait = wsum / time.Duration(len(waits))
+			row.P95QueueWait = percentile(waits, 95)
 		}
 		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
+// percentile returns the nearest-rank p-th percentile of an ascending
+// slice: the smallest element with at least p% of the sample at or below
+// it. Unlike the index (n-1)*p/100, this does not under-report for small
+// n (for n=12, p95 is the 12th value, not the 11th).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100 // ceil(p*n/100)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
 // FormatStream renders the stream comparison.
 func FormatStream(rows []StreamRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Continuous task stream (§2.5 queues) — multi-user arrivals\n")
-	fmt.Fprintf(&b, "%-18s  %12s  %14s  %14s\n", "policy", "elapsed (s)", "mean resp (s)", "p95 resp (s)")
+	fmt.Fprintf(&b, "Continuous task stream (§2.5 queues) — online multi-user arrivals\n")
+	fmt.Fprintf(&b, "%-18s  %12s  %14s  %14s  %14s  %14s\n",
+		"policy", "elapsed (s)", "mean resp (s)", "p95 resp (s)", "mean qwait (s)", "p95 qwait (s)")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-18s  %12.2f  %14.2f  %14.2f\n",
-			r.Policy, r.Elapsed.Seconds(), r.MeanResponse.Seconds(), r.P95Response.Seconds())
+		fmt.Fprintf(&b, "%-18s  %12.2f  %14.2f  %14.2f  %14.2f  %14.2f\n",
+			r.Policy, r.Elapsed.Seconds(), r.MeanResponse.Seconds(), r.P95Response.Seconds(),
+			r.MeanQueueWait.Seconds(), r.P95QueueWait.Seconds())
 	}
 	return b.String()
 }

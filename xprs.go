@@ -86,6 +86,12 @@ type (
 	// MetricsSnapshot is a point-in-time view of every metric collected
 	// during an observed run.
 	MetricsSnapshot = obs.Snapshot
+	// Admission configures the scheduler's query admission controller
+	// (memory budget over task working sets, max concurrent queries).
+	Admission = exec.AdmissionConfig
+	// QueryHandle is the ticket returned by Scheduler.Submit; Wait blocks
+	// until the query's Report is ready.
+	QueryHandle = exec.QueryHandle
 )
 
 // Scheduling policies (§3's three algorithms).
@@ -383,15 +389,67 @@ func (s *System) PlanTasks(res *OptResult, baseID int) ([]TaskSpec, error) {
 	return exec.QueryTasks(res.Graph, res.Estimates, baseID)
 }
 
-// Run executes a task set under a policy in virtual time and returns
-// the report. Deterministic for fixed inputs.
-func (s *System) Run(specs []TaskSpec, policy Policy, opts SchedOptions) (*Report, error) {
-	var rep *Report
+// Scheduler is a live scheduling session inside a Serve callback: the
+// long-lived service behind every run. Submit registers queries online
+// (each returns a QueryHandle to Wait on), while Now and SleepUntil let
+// a driver pace submissions in virtual time.
+type Scheduler struct {
+	sys   *System
+	inner *exec.Scheduler
+}
+
+// Submit registers one query (a set of dependent task specs) with the
+// session and returns its handle. Admission may delay its start; the
+// handle's Report carries the queue wait.
+func (sc *Scheduler) Submit(specs []TaskSpec) (*QueryHandle, error) {
+	return sc.inner.Submit(specs)
+}
+
+// Now returns the session's current virtual time.
+func (sc *Scheduler) Now() time.Duration { return sc.sys.clock.Now() }
+
+// SleepUntil blocks the calling goroutine until the given virtual
+// instant (a no-op if it has already passed), so drivers can submit
+// queries at their intended arrival times.
+func (sc *Scheduler) SleepUntil(t time.Duration) {
+	if t > sc.sys.clock.Now() {
+		sc.sys.clock.SleepUntil(t)
+	}
+}
+
+// Serve opens a scheduling session and runs fn as its driver: fn
+// submits queries (from the calling goroutine or ones it spawns via the
+// clock) and waits on their handles. The session drains — every
+// submitted query completes — before Serve returns. Policy, scheduler
+// options and admission limits are fixed for the session's lifetime.
+func (s *System) Serve(policy Policy, opts SchedOptions, adm Admission, fn func(*Scheduler) error) error {
 	var err error
 	s.clock.Run(func() {
-		rep, err = s.engine.Run(specs, policy, opts)
+		inner := exec.NewScheduler(s.engine, policy, opts, adm)
+		defer inner.Drain()
+		err = fn(&Scheduler{sys: s, inner: inner})
 	})
-	return rep, err
+	return err
+}
+
+// Run executes a pre-declared task set under a policy in virtual time
+// and returns the report: a single-query session over the same
+// scheduler that serves online submission. Deterministic for fixed
+// inputs.
+func (s *System) Run(specs []TaskSpec, policy Policy, opts SchedOptions) (*Report, error) {
+	var rep *Report
+	err := s.Serve(policy, opts, Admission{}, func(sc *Scheduler) error {
+		h, err := sc.Submit(specs)
+		if err != nil {
+			return err
+		}
+		rep, err = h.Wait()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
 }
 
 // Optimize runs the two-phase optimizer's phase one over a query.

@@ -307,7 +307,7 @@ func TestOptimizeThroughFacade(t *testing.T) {
 }
 
 func TestStreamExperiment(t *testing.T) {
-	rows, err := RunStream(DefaultConfig(), 3, 12, 2*time.Second, SchedOptions{})
+	rows, err := RunStream(DefaultConfig(), 3, 12, 2*time.Second, SchedOptions{}, Admission{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +339,7 @@ func TestStreamExperiment(t *testing.T) {
 }
 
 func TestStreamValidation(t *testing.T) {
-	if _, err := RunStream(DefaultConfig(), 1, 0, time.Second, SchedOptions{}); err == nil {
+	if _, err := RunStream(DefaultConfig(), 1, 0, time.Second, SchedOptions{}, Admission{}); err == nil {
 		t.Fatal("0-task stream accepted")
 	}
 }
