@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: build test race bench vet all
+.PHONY: build test race race-matrix bench vet lint all
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -13,8 +13,20 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The determinism invariants demand identical results at any processor
+# count; racing at 1 and 4 gives the detector two very different
+# schedules to work with (see DESIGN.md §11).
+race-matrix:
+	GOMAXPROCS=1 $(GO) test -race ./...
+	GOMAXPROCS=4 $(GO) test -race ./...
+
 vet:
 	$(GO) vet ./...
+
+# xprsvet: the repo-specific determinism analyzers (vclockpurity,
+# obsnoclock, maporder, atomicmix). See DESIGN.md §11.
+lint: vet
+	$(GO) run ./cmd/xprsvet ./...
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkPipelineThroughput|BenchmarkBufferPoolParallel|BenchmarkSchedulerSubmit' -benchmem .

@@ -24,10 +24,10 @@ func main() {
 		arrival time.Duration // when the user submits
 	}
 	users := []user{
-		{"u1_bigscan", 65, 40000, 0, 1 << 30, 0},               // extremely IO-bound
-		{"u2_filter", 9, 120000, 500, 90000, 0},                // extremely CPU-bound
-		{"u3_report", 55, 30000, 0, 1 << 30, 2 * time.Second},  // IO-bound, arrives late
-		{"u4_crunch", 12, 100000, 0, 50000, 4 * time.Second},   // CPU-bound, arrives later
+		{"u1_bigscan", 65, 40000, 0, 1 << 30, 0},              // extremely IO-bound
+		{"u2_filter", 9, 120000, 500, 90000, 0},               // extremely CPU-bound
+		{"u3_report", 55, 30000, 0, 1 << 30, 2 * time.Second}, // IO-bound, arrives late
+		{"u4_crunch", 12, 100000, 0, 50000, 4 * time.Second},  // CPU-bound, arrives later
 	}
 	adm := xprs.Admission{MaxQueries: 2}
 

@@ -2,7 +2,7 @@ package xprs
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"xprs/internal/diskmodel"
@@ -32,7 +32,7 @@ func FormatAnalyze(res *OptResult, rep *Report) string {
 	for id := range rep.Frags {
 		ids = append(ids, id)
 	}
-	sort.Ints(ids)
+	slices.Sort(ids)
 	for _, id := range ids {
 		fs := rep.Frags[id]
 		fmt.Fprintf(&b, "  %-12s start=%8.3fs wall=%8.3fs degrees=%v slaves=%d repartitions=%d tuples in=%d out=%d batches=%d\n",

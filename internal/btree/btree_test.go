@@ -2,7 +2,7 @@ package btree
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -49,7 +49,7 @@ func TestInsertAndVisitOrdered(t *testing.T) {
 		got = append(got, k)
 		return true
 	})
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	slices.Sort(keys)
 	if len(got) != n {
 		t.Fatalf("visited %d of %d", len(got), n)
 	}

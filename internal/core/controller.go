@@ -1,9 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Policy selects one of the three scheduling algorithms evaluated in §3.
@@ -558,5 +559,5 @@ func shorter(a, b *Task) bool {
 // sortTasksByID orders tasks deterministically (test helper shared by
 // Simulate traces).
 func sortTasksByID(ts []*Task) {
-	sort.Slice(ts, func(i, j int) bool { return ts[i].ID < ts[j].ID })
+	slices.SortFunc(ts, func(a, b *Task) int { return cmp.Compare(a.ID, b.ID) })
 }

@@ -1,9 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // SimTask describes one task for the analytic simulator: the scheduler
@@ -147,7 +148,7 @@ func Simulate(env Env, policy Policy, opts Options, tasks []SimTask) (SimResult,
 		if len(batch) == 0 {
 			return
 		}
-		sort.Slice(batch, func(i, j int) bool { return batch[i].sim.Task.ID < batch[j].sim.Task.ID })
+		slices.SortFunc(batch, func(a, b *state) int { return cmp.Compare(a.sim.Task.ID, b.sim.Task.ID) })
 		ts := make([]*Task, len(batch))
 		for i, s := range batch {
 			s.submitted = true
@@ -272,7 +273,7 @@ func Simulate(env Env, policy Policy, opts Options, tasks []SimTask) (SimResult,
 				finished = append(finished, s)
 			}
 		}
-		sort.Slice(finished, func(i, j int) bool { return finished[i].sim.Task.ID < finished[j].sim.Task.ID })
+		slices.SortFunc(finished, func(a, b *state) int { return cmp.Compare(a.sim.Task.ID, b.sim.Task.ID) })
 		for _, s := range finished {
 			s.running = false
 			s.done = true

@@ -2,7 +2,7 @@ package exec
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"testing"
 
@@ -35,7 +35,7 @@ func canonTuples(temp *Temp) []string {
 		}
 		rows = append(rows, b.String())
 	}
-	sort.Strings(rows)
+	slices.Sort(rows)
 	return rows
 }
 
@@ -63,7 +63,7 @@ func runSweep(t *testing.T, poolPages int, policy core.Policy, mk func(eng *Engi
 		for id, at := range rep.Finish {
 			finish = append(finish, fmt.Sprintf("%d@%v", id, at))
 		}
-		sort.Strings(finish)
+		slices.Sort(finish)
 		got := &sweepOutcome{
 			rows:    canonTuples(rep.Results[g.Root.ID]),
 			elapsed: rep.Elapsed.String(),

@@ -2,7 +2,7 @@ package exec
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"testing"
 	"time"
@@ -101,9 +101,9 @@ func expectInts(t *testing.T, temp *Temp, col int, want []int32) {
 	for _, tp := range temp.Tuples() {
 		got = append(got, tp.Vals[col].Int)
 	}
-	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	slices.Sort(got)
 	w := append([]int32(nil), want...)
-	sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+	slices.Sort(w)
 	if len(got) != len(w) {
 		t.Fatalf("result has %d tuples, want %d", len(got), len(w))
 	}

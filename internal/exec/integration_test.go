@@ -2,7 +2,7 @@ package exec
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"testing"
 
 	"xprs/internal/core"
@@ -165,7 +165,7 @@ func TestResultsIndependentOfPolicy(t *testing.T) {
 		for _, tp := range rep.Results[50].Tuples() {
 			rows = append(rows, fmt.Sprintf("s%d", tp.Vals[0].Int))
 		}
-		sort.Strings(rows)
+		slices.Sort(rows)
 		return rows
 	}
 	base := collect(core.IntraOnly)

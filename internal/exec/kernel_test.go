@@ -1,8 +1,9 @@
 package exec
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"testing"
 
@@ -44,7 +45,7 @@ func TestBatchSweepHashPartitions(t *testing.T) {
 		for id, at := range rep.Finish {
 			finish = append(finish, fmt.Sprintf("%d@%v", id, at))
 		}
-		sort.Strings(finish)
+		slices.Sort(finish)
 		got := &sweepOutcome{
 			rows:    canonTuples(rep.Results[g.Root.ID]),
 			elapsed: rep.Elapsed.String(),
@@ -291,7 +292,7 @@ func TestTempFinalizeMatchesStableSort(t *testing.T) {
 	}
 	temp.Append(batch)
 	want := append([]storage.Tuple(nil), temp.Tuples()...)
-	sort.SliceStable(want, func(i, j int) bool { return want[i].Vals[0].Int < want[j].Vals[0].Int })
+	slices.SortStableFunc(want, func(a, b storage.Tuple) int { return cmp.Compare(a.Vals[0].Int, b.Vals[0].Int) })
 	if cmps := temp.Finalize(0); cmps <= 0 {
 		t.Fatal("no comparisons charged")
 	}

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `for range` over a map whose body feeds an
+// order-sensitive sink — appending to a slice that is never sorted
+// afterwards, sending on a channel, posting to a mailbox or task
+// queue, or emitting trace events. Go randomizes map iteration order,
+// so any such loop silently breaks the byte-identical-report
+// invariants (TestBatchSweep*, TestSubmitMatchesBatch,
+// TestTraceDeterministic) in a way that only reproduces occasionally.
+// The fix is keyed iteration: collect keys, slices.SortFunc them, then
+// iterate — or sort the collected slice before it is consumed.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "forbid map iteration that feeds reports, traces, queues or channels " +
+		"without a deterministic order (sort keys or slices.SortFunc the result)",
+	Run: runMapOrder,
+}
+
+// orderedSinkMethods are in-module methods whose call order is
+// observable in reports or the simulated timeline.
+var orderedSinkMethods = map[string]bool{
+	"Instant":      true, // obs.Tracer
+	"Span":         true, // obs.Tracer
+	"Post":         true, // vclock.Mailbox
+	"Push":         true, // core.TaskQueue
+	"PushFront":    true,
+	"PushFrontAll": true,
+	"Emit":         true,
+	"Record":       true,
+	"Enqueue":      true,
+}
+
+// sortFuncs are the sort/slices package functions that impose a
+// deterministic order on a collected slice.
+var sortFuncs = map[string]bool{
+	"Sort": true, "Slice": true, "SliceStable": true, "Stable": true,
+	"Strings": true, "Ints": true, "Float64s": true,
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapRange(pass.TypesInfo, rng) {
+					return true
+				}
+				checkMapRangeBody(pass, fd, rng)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func isMapRange(info *types.Info, rng *ast.RangeStmt) bool {
+	tv, ok := info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRangeBody scans one map-range body for order-sensitive
+// effects and reports them.
+func checkMapRangeBody(pass *Pass, enclosing *ast.FuncDecl, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.RangeStmt:
+			if stmt != rng && isMapRange(pass.TypesInfo, stmt) {
+				return false // the nested map range gets its own visit
+			}
+		case *ast.SendStmt:
+			pass.Reportf(stmt.Arrow,
+				"channel send inside iteration over a map: map order is randomized, so receivers "+
+					"observe a nondeterministic sequence (DESIGN.md §11); iterate sorted keys instead")
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.TypesInfo, stmt)
+			if fn == nil || !sinkPackage(funcPkgPath(fn)) {
+				return true
+			}
+			if orderedSinkMethods[fn.Name()] && recvBaseName(fn) != "" {
+				pass.Reportf(stmt.Pos(),
+					"%s.%s called inside iteration over a map: emission order follows the randomized "+
+						"map order and breaks byte-identical reports (DESIGN.md §11); iterate sorted keys instead",
+					recvBaseName(fn), fn.Name())
+			}
+		case *ast.AssignStmt:
+			checkAppendInMapRange(pass, enclosing, rng, stmt)
+		}
+		return true
+	})
+}
+
+// checkAppendInMapRange flags `dst = append(dst, ...)` inside a map
+// range when dst outlives the loop and is never sorted afterwards.
+func checkAppendInMapRange(pass *Pass, enclosing *ast.FuncDecl, rng *ast.RangeStmt, assign *ast.AssignStmt) {
+	for i, rhs := range assign.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass.TypesInfo, call) || i >= len(assign.Lhs) {
+			continue
+		}
+		switch lhs := ast.Unparen(assign.Lhs[i]).(type) {
+		case *ast.Ident:
+			obj, ok := pass.TypesInfo.Uses[lhs].(*types.Var)
+			if !ok {
+				if obj, ok = pass.TypesInfo.Defs[lhs].(*types.Var); !ok {
+					continue
+				}
+			}
+			if declaredWithin(pass, obj, rng) {
+				continue // loop-local scratch; its order dies with the iteration
+			}
+			if sortedAfter(pass, enclosing, rng, obj) {
+				continue // collected then deterministically sorted: the blessed pattern
+			}
+			pass.Reportf(assign.Pos(),
+				"append to %q inside iteration over a map without sorting it afterwards: the slice "+
+					"inherits randomized map order and poisons anything it feeds (reports, queues, traces) "+
+					"(DESIGN.md §11); sort it with slices.SortFunc after the loop or iterate sorted keys",
+				obj.Name())
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			pass.Reportf(assign.Pos(),
+				"append to escaping storage inside iteration over a map: the destination inherits "+
+					"randomized map order (DESIGN.md §11); collect into a local, slices.SortFunc it, then store")
+		}
+	}
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// declaredWithin reports whether obj's declaration lies inside the
+// range statement.
+func declaredWithin(pass *Pass, obj *types.Var, rng *ast.RangeStmt) bool {
+	return obj.Pos() >= rng.Pos() && obj.Pos() < rng.End()
+}
+
+// sortedAfter reports whether, later in the enclosing function, obj is
+// passed to a sort/slices ordering function (or re-assigned from
+// slices.Sorted*), which launders the nondeterministic append order.
+func sortedAfter(pass *Pass, enclosing *ast.FuncDecl, rng *ast.RangeStmt, obj *types.Var) bool {
+	found := false
+	ast.Inspect(enclosing.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		pkg := funcPkgPath(fn)
+		if (pkg != "sort" && pkg != "slices") || !sortFuncs[fn.Name()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// sinkPackage reports whether methods from this package count as
+// ordered sinks (the engine packages whose event/queue order is
+// observable in reports and traces).
+func sinkPackage(pkgPath string) bool {
+	for _, s := range []string{"internal/obs", "internal/vclock", "internal/core", "internal/exec"} {
+		if pathHasSuffix(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}

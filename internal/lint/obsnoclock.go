@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ObsNoClock enforces the "observation is free" invariant structurally
+// (DESIGN.md §9): enabling tracing or metrics must not perturb the
+// deterministic virtual-time execution it observes. Two checks:
+//
+//  1. internal/obs must stay a leaf package — it may not import the
+//     engine packages (vclock, exec, core, diskmodel), so nothing in it
+//     can even name a clock-advancing API.
+//  2. Any callback handed to an obs API (Registry.RegisterFunc gauges,
+//     or any func-typed argument to an obs function) must not reach a
+//     vclock-advancing call — Clock.Sleep/SleepUntil/Go/YieldOrdered/
+//     WaitSignal/Signal, Mailbox.Post/Wait, or the executor's CPU
+//     charging helpers — directly or through same-package calls.
+var ObsNoClock = &Analyzer{
+	Name: "obsnoclock",
+	Doc: "observability must never touch the virtual clock: obs stays a leaf package " +
+		"and obs callbacks (RegisterFunc gauges) may not reach clock-advancing APIs",
+	Run: runObsNoClock,
+}
+
+// enginePackages may not be imported by internal/obs.
+var enginePackages = []string{
+	"internal/vclock",
+	"internal/exec",
+	"internal/core",
+	"internal/diskmodel",
+}
+
+// clockAdvancingMethods are the vclock APIs that advance, charge or
+// gate virtual time.
+var clockAdvancingMethods = map[string]bool{
+	"Sleep":        true,
+	"SleepUntil":   true,
+	"Go":           true,
+	"Run":          true,
+	"YieldOrdered": true,
+	"WaitSignal":   true,
+	"Signal":       true,
+	"Post":         true, // Mailbox.Post
+	"Wait":         true, // Mailbox.Wait
+}
+
+// cpuChargingFuncs are the executor's virtual-CPU accounting helpers;
+// calling one from an observability callback would make tracing change
+// the simulated timeline.
+var cpuChargingFuncs = map[string]bool{
+	"chargeCPU":    true,
+	"chargeCPUPer": true,
+	"addCPUDebt":   true,
+	"flushCPU":     true,
+}
+
+func runObsNoClock(pass *Pass) error {
+	if pathHasSuffix(pass.Pkg.Path(), "internal/obs") {
+		for _, file := range pass.Files {
+			for _, imp := range file.Imports {
+				path := importPath(imp)
+				for _, engine := range enginePackages {
+					if pathHasSuffix(path, engine) {
+						pass.Reportf(imp.Pos(),
+							"internal/obs imports %s: obs must stay a leaf package so instrumentation "+
+								"can never advance the virtual clock (observation-is-free, DESIGN.md §9/§11)",
+							path)
+					}
+				}
+			}
+		}
+		return nil
+	}
+
+	reach := newClockReach(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.TypesInfo, call)
+			if callee == nil || !pathHasSuffix(funcPkgPath(callee), "internal/obs") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if culprit := reach.callbackReaches(arg); culprit != "" {
+					pass.Reportf(arg.Pos(),
+						"callback passed to obs.%s reaches vclock-advancing API %s: "+
+							"observation must be free — instrumentation cannot advance, charge or gate "+
+							"the virtual clock (DESIGN.md §9/§11)",
+						callee.Name(), culprit)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func importPath(imp *ast.ImportSpec) string {
+	path := imp.Path.Value
+	if len(path) >= 2 {
+		path = path[1 : len(path)-1]
+	}
+	return path
+}
+
+// clockReach answers "does this function (or function literal) reach a
+// clock-advancing API?", following static calls through functions
+// declared in the analyzed package.
+type clockReach struct {
+	pass  *Pass
+	decls map[*types.Func]*ast.FuncDecl
+	memo  map[*types.Func]string // "" = does not reach; else culprit name
+}
+
+func newClockReach(pass *Pass) *clockReach {
+	r := &clockReach{
+		pass:  pass,
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		memo:  make(map[*types.Func]string),
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					r.decls[fn] = fd
+				}
+			}
+		}
+	}
+	return r
+}
+
+// callbackReaches inspects a call argument; when it is a function
+// (literal, or a reference to a function or method value) that reaches
+// a clock-advancing API, it returns the offending API's name.
+func (r *clockReach) callbackReaches(arg ast.Expr) string {
+	switch a := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		return r.bodyReaches(a.Body, make(map[*types.Func]bool))
+	case *ast.Ident, *ast.SelectorExpr:
+		var id *ast.Ident
+		if sel, ok := a.(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		} else {
+			id = a.(*ast.Ident)
+		}
+		if fn, ok := r.pass.TypesInfo.Uses[id].(*types.Func); ok {
+			return r.funcReaches(fn, make(map[*types.Func]bool))
+		}
+	}
+	return ""
+}
+
+// funcReaches reports the clock-advancing API reachable from fn, or "".
+func (r *clockReach) funcReaches(fn *types.Func, seen map[*types.Func]bool) string {
+	if culprit := clockAPIName(fn); culprit != "" {
+		return culprit
+	}
+	if seen[fn] {
+		return ""
+	}
+	seen[fn] = true
+	if culprit, ok := r.memo[fn]; ok {
+		return culprit
+	}
+	decl, ok := r.decls[fn]
+	if !ok || decl.Body == nil {
+		return "" // declared outside this package: out of static reach
+	}
+	culprit := r.bodyReaches(decl.Body, seen)
+	r.memo[fn] = culprit
+	return culprit
+}
+
+// bodyReaches scans a function body for calls that are (or reach) a
+// clock-advancing API.
+func (r *clockReach) bodyReaches(body ast.Node, seen map[*types.Func]bool) string {
+	var culprit string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if culprit != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(r.pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		if c := r.funcReaches(callee, seen); c != "" {
+			culprit = c
+			return false
+		}
+		return true
+	})
+	return culprit
+}
+
+// clockAPIName classifies fn as a clock-advancing API, returning a
+// human-readable name, or "".
+func clockAPIName(fn *types.Func) string {
+	if pathHasSuffix(funcPkgPath(fn), "internal/vclock") && clockAdvancingMethods[fn.Name()] {
+		if recv := recvBaseName(fn); recv != "" {
+			return "vclock." + recv + "." + fn.Name()
+		}
+		return "vclock." + fn.Name()
+	}
+	if cpuChargingFuncs[fn.Name()] && funcPkgPath(fn) != "" {
+		if recv := recvBaseName(fn); recv != "" {
+			return recv + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return ""
+}

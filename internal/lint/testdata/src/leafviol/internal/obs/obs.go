@@ -1,0 +1,12 @@
+// Package obs is an obsnoclock fixture violating the leaf-package
+// rule: observability importing the clock at all is the structural
+// failure the analyzer exists to catch.
+package obs
+
+import (
+	"leafviol/internal/vclock" // want `internal/obs imports leafviol/internal/vclock`
+)
+
+type Registry struct {
+	clock *vclock.Clock
+}

@@ -1,0 +1,3 @@
+package vclock
+
+type Clock struct{}

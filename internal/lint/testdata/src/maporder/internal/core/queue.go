@@ -1,0 +1,11 @@
+// Package core is a maporder fixture: a minimal task queue whose push
+// order is observable downstream.
+package core
+
+type Task struct{ ID int }
+
+type TaskQueue struct{ items []*Task }
+
+func (q *TaskQueue) Push(t *Task)   { q.items = append(q.items, t) }
+func (q *TaskQueue) Len() int       { return len(q.items) }
+func (q *TaskQueue) At(i int) *Task { return q.items[i] }

@@ -1,0 +1,6 @@
+// Package obs is a maporder fixture: trace emission is an ordered sink.
+package obs
+
+type Tracer struct{}
+
+func (t *Tracer) Instant(ts int64, name string) {}

@@ -1,0 +1,11 @@
+// Package obs is an obsnoclock fixture: a clean leaf registry/tracer
+// stand-in for callback-checking tests.
+package obs
+
+type Registry struct{}
+
+func (r *Registry) RegisterFunc(name string, fn func() int64) {}
+
+type Tracer struct{}
+
+func (t *Tracer) OnFlush(fn func()) {}

@@ -1,0 +1,26 @@
+// Package vclock is a vclockpurity fixture for the Real-adapter
+// exemption: wall-clock reads are legal only inside the explicit
+// wall-clock bridge (methods on Real, and NewReal).
+package vclock
+
+import "time"
+
+// Real mirrors the engine's wall-clock adapter.
+type Real struct {
+	start time.Time
+}
+
+func NewReal() *Real {
+	return &Real{start: time.Now()} // sanctioned: the one bridge to host time
+}
+
+func (r *Real) Now() time.Duration { return time.Since(r.start) }
+
+func (r *Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Virtual code in the same package stays governed.
+type Virtual struct{}
+
+func (v *Virtual) leak() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}

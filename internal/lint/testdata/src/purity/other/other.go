@@ -1,0 +1,7 @@
+// Package other is outside the vclock-governed set: wall-clock use is
+// not the analyzers' business here.
+package other
+
+import "time"
+
+func Fine() time.Time { return time.Now() }

@@ -26,8 +26,8 @@ type chromeEvent struct {
 
 // chromeFile is the top-level trace object.
 type chromeFile struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
-	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
 	Metadata        map[string]any `json:"otherData,omitempty"`
 }
 

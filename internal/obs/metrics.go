@@ -3,7 +3,7 @@ package obs
 import (
 	"math"
 	"math/bits"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 )
@@ -268,7 +268,7 @@ func (s Snapshot) Names() []string {
 	for n := range s.Histograms {
 		names = append(names, n)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	return names
 }
 

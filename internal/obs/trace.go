@@ -1,7 +1,8 @@
 package obs
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 	"sync"
 	"time"
 )
@@ -162,11 +163,11 @@ func (t *Tracer) Since(mark int) []Event {
 	out := make([]Event, len(t.events)-mark)
 	copy(out, t.events[mark:])
 	t.mu.Unlock()
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Ts != out[j].Ts {
-			return out[i].Ts < out[j].Ts
+	slices.SortStableFunc(out, func(a, b Event) int {
+		if a.Ts != b.Ts {
+			return cmp.Compare(a.Ts, b.Ts)
 		}
-		return out[i].Seq < out[j].Seq
+		return cmp.Compare(a.Seq, b.Seq)
 	})
 	return out
 }

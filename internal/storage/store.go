@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -231,7 +232,8 @@ func (s *Store) RelationByID(id int32) (*Relation, bool) {
 	return r, ok
 }
 
-// Relations returns all registered relations (unordered).
+// Relations returns all registered relations in ID order, so callers
+// that iterate it feed deterministic sequences downstream.
 func (s *Store) Relations() []*Relation {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -239,6 +241,7 @@ func (s *Store) Relations() []*Relation {
 	for _, r := range s.byName {
 		out = append(out, r)
 	}
+	slices.SortFunc(out, func(a, b *Relation) int { return int(a.ID) - int(b.ID) })
 	return out
 }
 

@@ -73,6 +73,10 @@ type JoinBenchResult struct {
 // MeasureJoin runs both kernel generations iters times and reports
 // wall-clock throughput. It is the JSON-emitting source of
 // BENCH_join.json.
+// It compares kernel generations on the wall clock by design, never on
+// the virtual clock.
+//
+//lint:allow vclockpurity — host-timing benchmark
 func MeasureJoin(cfg Config, iters int) (*JoinBenchResult, error) {
 	if iters <= 0 {
 		iters = 20

@@ -78,6 +78,10 @@ type PipelineBenchResult struct {
 // MeasurePipeline runs the canonical query iters times against a fresh
 // system and reports wall-clock throughput and allocation counts. It is
 // the JSON-emitting twin of BenchmarkPipelineThroughput.
+// It measures real throughput on the wall clock by design, never on
+// the virtual clock.
+//
+//lint:allow vclockpurity — host-timing benchmark
 func MeasurePipeline(cfg Config, iters int) (*PipelineBenchResult, error) {
 	if iters <= 0 {
 		iters = 5
