@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-matrix bench vet lint all
+.PHONY: build test race race-matrix bench vet lint allocgate all
 
 all: build lint test
 
@@ -31,3 +31,8 @@ lint: vet
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkPipelineThroughput|BenchmarkBufferPoolParallel|BenchmarkSchedulerSubmit' -benchmem .
 	$(GO) run ./cmd/xprsbench -fig pipeline
+
+# Allocation gate: the executor hot path must stay under the committed
+# allocs/op budget (see TestPipelineAllocGate in bench_test.go).
+allocgate:
+	XPRS_ALLOC_GATE=1 $(GO) test -run TestPipelineAllocGate -v .

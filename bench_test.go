@@ -11,6 +11,7 @@ package xprs
 
 import (
 	"fmt"
+	"os"
 	"testing"
 	"time"
 
@@ -277,6 +278,33 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 		tuples += n
 	}
 	b.ReportMetric(float64(tuples)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// pipelineAllocBudget is the CI allocation gate for the executor hot
+// path: the steady-state allocs/op of the canonical pipeline query.
+// Measured at ~84 allocs/op after the columnar/pooling work; the budget
+// leaves headroom for benign churn while catching any regression back
+// toward per-tuple or per-batch allocation (the seed executor sat at
+// ~6,400 allocs/op, the tuple-at-a-time baseline at ~128,000).
+const pipelineAllocBudget = 150
+
+// TestPipelineAllocGate enforces pipelineAllocBudget. It is skipped
+// unless XPRS_ALLOC_GATE is set (CI runs it via `make allocgate`) so
+// ordinary `go test ./...` stays robust on noisy developer machines.
+func TestPipelineAllocGate(t *testing.T) {
+	if os.Getenv("XPRS_ALLOC_GATE") == "" {
+		t.Skip("set XPRS_ALLOC_GATE=1 to run the allocation gate")
+	}
+	res, err := MeasurePipeline(DefaultConfig(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("pipeline: %.1f allocs/op, %.0f B/op, %.0f ns/op (budget %d allocs/op)",
+		res.AllocsPerOp, res.BytesPerOp, res.NsPerOp, pipelineAllocBudget)
+	if res.AllocsPerOp > pipelineAllocBudget {
+		t.Fatalf("pipeline hot path allocates %.1f allocs/op, budget is %d — an allocation regression crept into the executor",
+			res.AllocsPerOp, pipelineAllocBudget)
+	}
 }
 
 // BenchmarkBufferPoolParallel hammers the buffer pool from all procs,

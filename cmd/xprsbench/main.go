@@ -32,7 +32,9 @@ func main() {
 	procs := flag.Int("procs", 8, "number of processors")
 	disks := flag.Int("disks", 4, "number of disks")
 	batch := flag.Int("batch", 0, "executor batch size (0 = default)")
-	iters := flag.Int("iters", 5, "iterations for the pipeline benchmark")
+	// 30 iterations matches TestPipelineAllocGate: enough ops that a
+	// stray mid-run GC emptying a sync.Pool does not dominate allocs/op.
+	iters := flag.Int("iters", 30, "iterations for the pipeline benchmark")
 	out := flag.String("out", "BENCH_pipeline.json", "output file for the pipeline benchmark")
 	joinIters := flag.Int("joiniters", 40, "iterations for the join-kernel benchmark")
 	joinOut := flag.String("joinout", "BENCH_join.json", "output file for the join-kernel benchmark")
@@ -136,6 +138,15 @@ func main() {
 		if err != nil {
 			return err
 		}
+		// The ablation partner: the identical benchmark with the executor
+		// forced onto row-at-a-time batches, so the file always carries a
+		// like-for-like columnar-vs-row comparison on the current build.
+		rcfg := cfg
+		rcfg.RowBatches = true
+		rowRes, err := xprs.MeasurePipeline(rcfg, *iters)
+		if err != nil {
+			return err
+		}
 		// One extra observed run of the same query supplies the metrics
 		// snapshot for the payload and, with -trace, the Chrome trace.
 		// MeasurePipeline itself stays unobserved so the perf numbers are
@@ -160,6 +171,11 @@ func main() {
 				AllocsPerOp float64 `json:"allocs_per_op"`
 				BytesPerOp  float64 `json:"bytes_per_op"`
 			} `json:"tuple_at_a_time_baseline"`
+			Ablation struct {
+				Columnar *xprs.PipelineBenchResult `json:"columnar"`
+				Row      *xprs.PipelineBenchResult `json:"row"`
+				Speedup  float64                   `json:"columnar_speedup"`
+			} `json:"columnar_vs_row"`
 			BufferHitRate float64              `json:"buffer_hit_rate"`
 			Repartitions  int64                `json:"repartitions"`
 			Metrics       xprs.MetricsSnapshot `json:"metrics"`
@@ -167,6 +183,11 @@ func main() {
 		payload.Baseline.NsPerOp = 17108129
 		payload.Baseline.AllocsPerOp = 128017
 		payload.Baseline.BytesPerOp = 10026465
+		payload.Ablation.Columnar = res
+		payload.Ablation.Row = rowRes
+		if res.NsPerOp > 0 {
+			payload.Ablation.Speedup = rowRes.NsPerOp / res.NsPerOp
+		}
 		hits, misses := snap.Get("bufferpool.hits"), snap.Get("bufferpool.misses")
 		if hits+misses > 0 {
 			payload.BufferHitRate = float64(hits) / float64(hits+misses)
@@ -199,6 +220,8 @@ func main() {
 		}
 		fmt.Printf("pipeline: %.0f tuples/s, %.0f ns/op, %.0f allocs/op, %.0f B/op (batch=%d) -> %s\n",
 			res.TuplesPerSec, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, eff, *out)
+		fmt.Printf("pipeline: columnar vs row: %.0f vs %.0f ns/op (%.2fx), %.0f vs %.0f allocs/op\n",
+			res.NsPerOp, rowRes.NsPerOp, payload.Ablation.Speedup, res.AllocsPerOp, rowRes.AllocsPerOp)
 		return nil
 	})
 	run("join", func() error {

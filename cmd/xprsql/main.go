@@ -14,28 +14,44 @@
 // the per-fragment execution profile (virtual wall time, degree history,
 // repartitions, tuple counts), the scheduler's decision trace, and the
 // disk/buffer profile instead of the result rows.
+//
+// Prefixing a statement with "batches" executes it and prints batch
+// diagnostics: the batch layout and size, the per-column on-page widths
+// of every base relation the plan reads, and the observed
+// selection-vector density (the fraction of scanned rows that survive
+// residual predicate chains). The -row flag forces the executor onto
+// row-at-a-time batches for comparison.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"xprs"
+	"xprs/internal/plan"
+	"xprs/internal/storage"
 )
 
 func main() {
+	rowMode := flag.Bool("row", false, "force row-at-a-time batches (default columnar)")
+	flag.Parse()
 	cfg := xprs.DefaultConfig()
 	cfg.Observe = true // enables EXPLAIN ANALYZE metrics; results unchanged
+	cfg.RowBatches = *rowMode
+	if *rowMode {
+		layoutName = "row"
+	}
 	sys := xprs.New(cfg)
 	if err := loadDemo(sys); err != nil {
 		fmt.Fprintln(os.Stderr, "xprsql:", err)
 		os.Exit(1)
 	}
 
-	if len(os.Args) > 1 {
-		for _, stmt := range os.Args[1:] {
+	if args := flag.Args(); len(args) > 0 {
+		for _, stmt := range args {
 			if err := run(sys, stmt); err != nil {
 				fmt.Fprintln(os.Stderr, "xprsql:", err)
 				os.Exit(1)
@@ -48,6 +64,7 @@ func main() {
 	fmt.Println(`try: select * from orders, items where orders.a = items.a and orders.a < 50`)
 	fmt.Println(`     select items.a, count(*) from items group by a`)
 	fmt.Println(`     explain analyze select * from customers, items where customers.a = items.a`)
+	fmt.Println(`     batches select * from orders, items where orders.a = items.a and items.a < 500`)
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("xprs> ")
 	for sc.Scan() {
@@ -98,6 +115,10 @@ func loadDemo(sys *xprs.System) error {
 	return err
 }
 
+// layoutName names the batch layout the shell was started with; set
+// once in main from the -row flag.
+var layoutName = "columnar"
+
 func run(sys *xprs.System, stmt string) error {
 	if rest, ok := cutAnalyze(stmt); ok {
 		_, pl, rep, err := sys.ExecSQLReport(rest, xprs.InterAdj)
@@ -106,6 +127,9 @@ func run(sys *xprs.System, stmt string) error {
 		}
 		fmt.Print(xprs.FormatAnalyze(pl, rep))
 		return nil
+	}
+	if rest, ok := cutPrefix(stmt, "batches"); ok {
+		return runBatches(sys, rest)
 	}
 	res, pl, err := sys.ExecSQL(stmt, xprs.InterAdj)
 	if err != nil {
@@ -129,6 +153,56 @@ func run(sys *xprs.System, stmt string) error {
 	return nil
 }
 
+// runBatches executes the statement and prints batch diagnostics
+// instead of result rows: the layout and batch size, the per-column
+// on-page widths of every base relation the plan scans, and the
+// observed selection-vector density across residual predicate chains
+// (from the exec.sel_rows_* counters, diffed around the run so earlier
+// statements in the session do not pollute the ratio).
+func runBatches(sys *xprs.System, stmt string) error {
+	before := sys.Observer().Metrics.Snapshot()
+	res, pl, err := sys.ExecSQL(stmt, xprs.InterAdj)
+	if err != nil {
+		return err
+	}
+	after := sys.Observer().Metrics.Snapshot()
+	fmt.Printf("-- batch diagnostics (layout %s, batch %d, %d result rows)\n",
+		layoutName, sys.BatchSize(), res.Len())
+	seen := make(map[*storage.Relation]bool)
+	plan.Walk(pl.Plan, func(n plan.Node) {
+		var rel *storage.Relation
+		switch x := n.(type) {
+		case *plan.SeqScan:
+			rel = x.Rel
+		case *plan.IndexScan:
+			rel = x.Rel
+		}
+		if rel == nil || seen[rel] {
+			return
+		}
+		seen[rel] = true
+		st := rel.Stats()
+		fmt.Printf("--  %s: %d tuples, avg %.1f B/tuple, column widths:\n",
+			rel.Name, st.NTuples, st.AvgTupleSize)
+		for i, c := range rel.Schema.Cols {
+			var w float64
+			if i < len(st.Cols) {
+				w = st.Cols[i].AvgWidth
+			}
+			fmt.Printf("--    %-8s %-5s %6.1f B\n", c.Name, c.Typ, w)
+		}
+	})
+	in := after.Get("exec.sel_rows_in") - before.Get("exec.sel_rows_in")
+	out := after.Get("exec.sel_rows_out") - before.Get("exec.sel_rows_out")
+	if in > 0 {
+		fmt.Printf("--  selection vectors: %d of %d rows pass residual predicates (density %.1f%%)\n",
+			out, in, 100*float64(out)/float64(in))
+	} else {
+		fmt.Println("--  selection vectors: no residual predicate chains (filters pushed into scans, or row layout)")
+	}
+	return nil
+}
+
 // cutAnalyze strips a case-insensitive "explain analyze" prefix,
 // reporting whether the statement had one.
 func cutAnalyze(stmt string) (string, bool) {
@@ -139,4 +213,14 @@ func cutAnalyze(stmt string) (string, bool) {
 		return stmt, false
 	}
 	return strings.Join(fields[2:], " "), true
+}
+
+// cutPrefix strips a case-insensitive one-word prefix, reporting
+// whether the statement had one.
+func cutPrefix(stmt, word string) (string, bool) {
+	fields := strings.Fields(stmt)
+	if len(fields) < 2 || !strings.EqualFold(fields[0], word) {
+		return stmt, false
+	}
+	return strings.Join(fields[1:], " "), true
 }

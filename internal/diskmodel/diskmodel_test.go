@@ -152,8 +152,8 @@ func TestQueueingUnderContention(t *testing.T) {
 	a := New(v, cfg)
 	var elapsed time.Duration
 	v.Run(func() {
-		done1 := make(chan struct{})
-		done2 := make(chan struct{})
+		done1 := make(chan struct{}, 1)
+		done2 := make(chan struct{}, 1)
 		v.Go(func() {
 			for i := int64(0); i < 10; i++ {
 				a.Read(1, i)
@@ -192,7 +192,7 @@ func TestParallelDisksOverlap(t *testing.T) {
 		chs := make([]chan struct{}, 4)
 		for i := 0; i < 4; i++ {
 			i := i
-			chs[i] = make(chan struct{})
+			chs[i] = make(chan struct{}, 1)
 			v.Go(func() {
 				for k := int64(0); k < 5; k++ {
 					a.Read(1, int64(i)+4*k) // stays on disk i

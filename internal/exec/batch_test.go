@@ -47,52 +47,62 @@ type sweepOutcome struct {
 	disk    string
 }
 
-// runSweep executes the plan built by mk at every sweep size and
-// asserts identical outcomes. mk receives a fresh engine per run (batch
-// size is set after construction) and returns the plan root.
+// runSweep executes the plan built by mk at every sweep size, in both
+// batch layouts (columnar and forced row-at-a-time), and asserts
+// identical outcomes across the whole grid: the layout, like the batch
+// size, must be a pure wall-clock knob. mk receives a fresh engine per
+// run (batch size and layout are set after construction) and returns
+// the plan root.
 func runSweep(t *testing.T, poolPages int, policy core.Policy, mk func(eng *Engine) plan.Node) {
 	t.Helper()
 	var base *sweepOutcome
-	for _, bs := range sweepSizes {
-		v, eng := testEngine(poolPages)
-		eng.BatchSize = bs
-		root := mk(eng)
-		specs, g := specFor(t, eng, root, 0)
-		rep := runOne(t, v, eng, specs, policy)
-		finish := make([]string, 0, len(rep.Finish))
-		for id, at := range rep.Finish {
-			finish = append(finish, fmt.Sprintf("%d@%v", id, at))
+	for _, rowMode := range []bool{false, true} {
+		layout := "columnar"
+		if rowMode {
+			layout = "row"
 		}
-		slices.Sort(finish)
-		got := &sweepOutcome{
-			rows:    canonTuples(rep.Results[g.Root.ID]),
-			elapsed: rep.Elapsed.String(),
-			finish:  strings.Join(finish, " "),
-			disk:    fmt.Sprintf("%+v", rep.Disk),
-		}
-		if base == nil {
-			base = got
-			if len(got.rows) == 0 {
-				t.Fatalf("batch=%d produced no rows; sweep is vacuous", bs)
+		for _, bs := range sweepSizes {
+			v, eng := testEngine(poolPages)
+			eng.BatchSize = bs
+			eng.RowBatches = rowMode
+			root := mk(eng)
+			specs, g := specFor(t, eng, root, 0)
+			rep := runOne(t, v, eng, specs, policy)
+			finish := make([]string, 0, len(rep.Finish))
+			for id, at := range rep.Finish {
+				finish = append(finish, fmt.Sprintf("%d@%v", id, at))
 			}
-			continue
-		}
-		if len(got.rows) != len(base.rows) {
-			t.Fatalf("batch=%d rows = %d, want %d (batch=%d)", bs, len(got.rows), len(base.rows), sweepSizes[0])
-		}
-		for i := range got.rows {
-			if got.rows[i] != base.rows[i] {
-				t.Fatalf("batch=%d row %d = %s, want %s", bs, i, got.rows[i], base.rows[i])
+			slices.Sort(finish)
+			got := &sweepOutcome{
+				rows:    canonTuples(rep.Results[g.Root.ID]),
+				elapsed: rep.Elapsed.String(),
+				finish:  strings.Join(finish, " "),
+				disk:    fmt.Sprintf("%+v", rep.Disk),
 			}
-		}
-		if got.elapsed != base.elapsed {
-			t.Errorf("batch=%d elapsed = %s, want %s", bs, got.elapsed, base.elapsed)
-		}
-		if got.finish != base.finish {
-			t.Errorf("batch=%d finish times = %s, want %s", bs, got.finish, base.finish)
-		}
-		if got.disk != base.disk {
-			t.Errorf("batch=%d disk stats = %s, want %s", bs, got.disk, base.disk)
+			if base == nil {
+				base = got
+				if len(got.rows) == 0 {
+					t.Fatalf("%s batch=%d produced no rows; sweep is vacuous", layout, bs)
+				}
+				continue
+			}
+			if len(got.rows) != len(base.rows) {
+				t.Fatalf("%s batch=%d rows = %d, want %d", layout, bs, len(got.rows), len(base.rows))
+			}
+			for i := range got.rows {
+				if got.rows[i] != base.rows[i] {
+					t.Fatalf("%s batch=%d row %d = %s, want %s", layout, bs, i, got.rows[i], base.rows[i])
+				}
+			}
+			if got.elapsed != base.elapsed {
+				t.Errorf("%s batch=%d elapsed = %s, want %s", layout, bs, got.elapsed, base.elapsed)
+			}
+			if got.finish != base.finish {
+				t.Errorf("%s batch=%d finish times = %s, want %s", layout, bs, got.finish, base.finish)
+			}
+			if got.disk != base.disk {
+				t.Errorf("%s batch=%d disk stats = %s, want %s", layout, bs, got.disk, base.disk)
+			}
 		}
 	}
 }

@@ -1,0 +1,321 @@
+package exec
+
+import (
+	"fmt"
+
+	"xprs/internal/expr"
+	"xprs/internal/plan"
+	"xprs/internal/storage"
+)
+
+// The columnar pipeline is the default execution path: drivers decode
+// pages straight into column vectors, filters produce selection vectors
+// instead of copying survivors, hash joins emit by appending column
+// values, and aggregation folds through a dense accumulator window. The
+// row pipeline (pipeline.go) remains fully supported — Engine.RowBatches
+// forces it, and any fragment shape the columnar compiler does not cover
+// (nestloops, index scans, merge joins) falls back to it per fragment.
+//
+// Both layouts charge the identical per-tuple CPU at the identical
+// points (probe per live tuple, emit per match, fold per live tuple,
+// insert per built row), so the virtual clock cannot tell them apart:
+// switching layouts moves wall-clock time and allocations only.
+//
+// A query can mix layouts per fragment, so a hash join must be able to
+// probe whichever table kind its build fragment produced: the columnar
+// probe bridges to a row HashTable by materializing match tuples, and
+// the row probe bridges to a ColHashTable the same way. The bridges
+// charge exactly what the native paths charge.
+
+// colProc consumes one columnar batch inside a slave. Batches are
+// read-only apart from Sel, which filter stages swap and restore; rows
+// must be copied out, never retained (driver batches are per-slave
+// scratch or shared page-cache views).
+type colProc func(sc *slaveCtx, b *storage.ColBatch) error
+
+// colConsumer is a compiled columnar stage. Columnar chains never
+// contain blocking operators (nestloops compile to the row path), so
+// unlike consumer there are no retains/blocking facts to carry.
+type colConsumer struct {
+	proc colProc
+}
+
+// colSupported reports whether the fragment can run on the columnar
+// pipeline: a page-partitioned driver and a tree of the vectorized
+// operators only.
+func (fr *fragRun) colSupported() bool {
+	if _, kind := fr.frag.Driver(); kind != plan.PageDriver {
+		return false
+	}
+	return colNodeSupported(fr.frag.Root, true)
+}
+
+func colNodeSupported(n plan.Node, atRoot bool) bool {
+	switch x := n.(type) {
+	case *plan.SeqScan:
+		return true
+	case *plan.FragScan:
+		return true
+	case *plan.Sort:
+		return atRoot && colNodeSupported(x.Child, false)
+	case *plan.Agg:
+		return atRoot && colNodeSupported(x.Child, false)
+	case *plan.HashJoin:
+		if _, ok := x.Right.(*plan.FragScan); !ok {
+			return false
+		}
+		return colNodeSupported(x.Left, false)
+	default:
+		return false
+	}
+}
+
+// processColBatch feeds one driver batch through the columnar pipeline,
+// keeping the same stat totals the row path records.
+func (fr *fragRun) processColBatch(sc *slaveCtx, b *storage.ColBatch) error {
+	fr.statBatches.Add(1)
+	fr.statTuplesIn.Add(int64(b.N))
+	fr.eng.mBatches.Add(1)
+	fr.eng.mTuples.Add(int64(b.N))
+	return fr.colRoot(sc, b)
+}
+
+// newColOut reserves a per-slave output-batch slot for one emitting
+// operator (the columnar analogue of newArena).
+func (fr *fragRun) newColOut() int {
+	s := fr.nColOuts
+	fr.nColOuts++
+	return s
+}
+
+// newSel reserves a per-slave selection-scratch slot (a ping-pong buffer
+// pair) for one filter stage.
+func (fr *fragRun) newSel() int {
+	s := fr.nSels
+	fr.nSels++
+	return s
+}
+
+// compileColSink builds the terminal columnar consumer: batches append
+// into the output temp under one lock round-trip, or partition into the
+// slave's private columnar hash builder.
+func (fr *fragRun) compileColSink() colConsumer {
+	if fr.outColHash != nil {
+		insertCPU := fr.eng.Params.HashInsertCPU
+		return colConsumer{proc: func(sc *slaveCtx, b *storage.ColBatch) error {
+			live := b.Live()
+			if live == 0 {
+				return nil
+			}
+			sc.chargeCPUPer(insertCPU, live)
+			fr.statTuplesOut.Add(int64(live))
+			if sc.colHb == nil {
+				sc.colHb = fr.outColHash.builderIn(&sc.colHbScratch)
+			}
+			return sc.colHb.InsertBatch(b)
+		}}
+	}
+	return colConsumer{proc: func(sc *slaveCtx, b *storage.ColBatch) error {
+		live := b.Live()
+		if live == 0 {
+			return nil
+		}
+		fr.statTuplesOut.Add(int64(live))
+		fr.outTemp.AppendCols(b)
+		return nil
+	}}
+}
+
+// compileCol builds the columnar chain for the subtree rooted at n,
+// feeding cons. need, when non-nil, lists the joined-output columns the
+// consumer actually reads (a root aggregate's group and argument
+// columns); emitting joins prune the rest so dead text columns are
+// never copied.
+func (fr *fragRun) compileCol(n plan.Node, cons colConsumer, atRoot bool, need map[int]bool) (colConsumer, error) {
+	switch x := n.(type) {
+	case *plan.SeqScan:
+		return fr.compileColFilter(x.Filter, cons), nil
+
+	case *plan.FragScan:
+		return cons, nil
+
+	case *plan.Sort:
+		if !atRoot {
+			return colConsumer{}, fmt.Errorf("exec: Sort below fragment root")
+		}
+		return fr.compileCol(x.Child, cons, false, nil)
+
+	case *plan.Agg:
+		if !atRoot {
+			return colConsumer{}, fmt.Errorf("exec: Agg below fragment root")
+		}
+		fr.aggNode = x
+		fr.agg = newAggState(x)
+		fr.agg.eng = fr.eng
+		foldCPU := fr.eng.Params.HashInsertCPU
+		acc := colConsumer{proc: func(sc *slaveCtx, b *storage.ColBatch) error {
+			live := b.Live()
+			if live == 0 {
+				return nil
+			}
+			sc.chargeCPUPer(foldCPU, live)
+			sc.accumulateBatchCols(fr.agg, b)
+			return nil
+		}}
+		childNeed := make(map[int]bool)
+		if x.GroupCol >= 0 {
+			childNeed[x.GroupCol] = true
+		}
+		for _, f := range x.Funcs {
+			if f.Col >= 0 {
+				childNeed[f.Col] = true
+			}
+		}
+		return fr.compileCol(x.Child, acc, false, childNeed)
+
+	case *plan.HashJoin:
+		fs, ok := x.Right.(*plan.FragScan)
+		if !ok {
+			return colConsumer{}, fmt.Errorf("exec: HashJoin build side is %T, want FragScan (decompose first)", x.Right)
+		}
+		lcol := x.LCol
+		probeCPU := fr.eng.Params.HashProbeCPU
+		emitCPU := fr.eng.Params.EmitCPU
+		buildFrag := fs.Frag
+		slot := fr.newColOut()
+		outSchema := x.OutSchema()
+		var prune []int
+		if need != nil {
+			for c := range outSchema.Cols {
+				if !need[c] {
+					prune = append(prune, c)
+				}
+			}
+		}
+		limit := fr.eng.batchSize()
+		proc := func(sc *slaveCtx, b *storage.ColBatch) error {
+			live := b.Live()
+			if live == 0 {
+				return nil
+			}
+			cht := fr.colHashes[buildFrag]
+			var rht *HashTable
+			if cht == nil {
+				rht = fr.hashes[buildFrag]
+				if rht == nil {
+					return fmt.Errorf("exec: hash table for fragment f%d not built", buildFrag.ID)
+				}
+			}
+			if lcol < 0 || lcol >= len(b.Vecs) {
+				return fmt.Errorf("exec: probe column %d out of range (tuple has %d)", lcol, len(b.Vecs))
+			}
+			sc.chargeCPUPer(probeCPU, live)
+			out := sc.colOutBatch(slot, fr.eng, outSchema, prune)
+			flush := func() error {
+				if out.N == 0 {
+					return nil
+				}
+				err := cons.proc(sc, out)
+				out.Reset()
+				return err
+			}
+			var keys []int32
+			if b.Vecs[lcol].Typ == storage.Int4 {
+				keys = b.Vecs[lcol].Ints
+			}
+			emitRow := func(row int) error {
+				key := int32(0)
+				if keys != nil {
+					key = keys[row]
+				}
+				if cht != nil {
+					store, start, cnt := cht.ProbeKey(key)
+					for m := int32(0); m < cnt; m++ {
+						sc.chargeCPU(emitCPU)
+						out.AppendJoined(b, row, store, int(start+m))
+						if out.N >= limit {
+							if err := flush(); err != nil {
+								return err
+							}
+						}
+					}
+					return nil
+				}
+				for _, bt := range rht.Probe(key) {
+					sc.chargeCPU(emitCPU)
+					out.AppendJoinedTuple(b, row, bt)
+					if out.N >= limit {
+						if err := flush(); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			}
+			if b.Sel == nil {
+				for row := 0; row < b.N; row++ {
+					if err := emitRow(row); err != nil {
+						return err
+					}
+				}
+			} else {
+				for _, row := range b.Sel {
+					if err := emitRow(int(row)); err != nil {
+						return err
+					}
+				}
+			}
+			return flush()
+		}
+		return fr.compileCol(x.Left, colConsumer{proc: proc}, false, nil)
+
+	default:
+		return colConsumer{}, fmt.Errorf("exec: cannot compile node %T on the columnar path", n)
+	}
+}
+
+// compileColFilter wraps cons with a leaf qualification compiled to a
+// selection-vector chain: the top-level AND factors apply in sequence,
+// each narrowing the previous selection, ping-ponging between the
+// slave's two scratch buffers. The batch's own selection vector is
+// swapped in for the downstream call and restored after — driver batches
+// are per-slave views, so the mutation is invisible outside the chain.
+func (fr *fragRun) compileColFilter(filter expr.Expr, cons colConsumer) colConsumer {
+	chain := expr.CompileColPredChain(filter)
+	if len(chain) == 0 {
+		return cons
+	}
+	slot := fr.newSel()
+	return colConsumer{proc: func(sc *slaveCtx, b *storage.ColBatch) error {
+		fr.eng.mSelIn.Add(int64(b.Live()))
+		a, bbuf := sc.selScratch(slot)
+		cur := b.Sel
+		parity := 0
+		for _, p := range chain {
+			dst := *a
+			if parity == 1 {
+				dst = *bbuf
+			}
+			res, err := p(b, cur, dst[:0])
+			if parity == 0 {
+				*a = res
+			} else {
+				*bbuf = res
+			}
+			if err != nil {
+				return err
+			}
+			if len(res) == 0 {
+				return nil
+			}
+			cur = res
+			parity ^= 1
+		}
+		fr.eng.mSelOut.Add(int64(len(cur)))
+		save := b.Sel
+		b.Sel = cur
+		err := cons.proc(sc, b)
+		b.Sel = save
+		return err
+	}}
+}

@@ -41,6 +41,14 @@ type Engine struct {
 	// independent of the value.
 	HashPartitions int
 
+	// RowBatches forces every fragment onto the row-at-a-time batch
+	// pipeline instead of the columnar one. Like BatchSize it is purely a
+	// wall-clock knob — both layouts charge the identical per-tuple work
+	// at the identical points, so results and virtual-clock totals do not
+	// move. The columnar/row ablation benchmark and the layout sweep
+	// tests flip it; production paths leave it false.
+	RowBatches bool
+
 	// Trace receives structured span/instant events when set. The tracer
 	// only appends under its own mutex with timestamps read from the
 	// virtual clock, so enabling it cannot change Finish/Elapsed results;
@@ -59,11 +67,51 @@ type Engine struct {
 	// are pointers so Put does not re-box the slice header.
 	batchPool sync.Pool
 
+	// colPools recycles columnar batches across slaves, tasks and
+	// queries — one free list per column shape. A single pool would hand
+	// Int4-shaped batches to text-heavy fragments and back, forcing
+	// ColBatch.Init to reallocate every vector on each Get (pool thrash);
+	// keyed by shape, the steady state allocates nothing per batch.
+	colPoolMu sync.Mutex
+	colPools  map[uint64]*sync.Pool
+
+	// hvsPool recycles the cached-hash slices of columnar build chunks
+	// (boxed so Get/Put never re-allocate the slice header).
+	hvsPool sync.Pool
+
+	// sealPool recycles the transient scratch of ColHashTable partition
+	// seals (permutations, slot memos, chunk bases).
+	sealPool sync.Pool
+
+	// chtPool recycles columnar hash tables across queries; release()
+	// feeds it once the consuming query settles.
+	chtPool sync.Pool
+
+	// scPool recycles slave execution contexts across slaves, tasks and
+	// queries: the capacity-bearing scratch (selection buffers, arenas,
+	// probe slabs, page buffers) is what makes the hot path allocation-
+	// free in steady state.
+	scPool sync.Pool
+
+	// densePool recycles dense aggregation windows (accumulator array +
+	// seen bitmap) across slaves and queries.
+	densePool sync.Pool
+
+	// frFree recycles compiled fragment runtimes across executions of the
+	// same (cached) plan: the compiled pipeline closures all read their
+	// mutable per-run state dynamically through the fragRun pointer, so a
+	// pooled runtime only needs its input maps and outputs rebound. Keyed
+	// by fragment identity — a cached plan keeps stable fragment pointers.
+	frMu   sync.Mutex
+	frFree map[*plan.Fragment][]*fragRun
+
 	events *vclock.Mailbox
 
 	// sched is the live scheduler session, if any; an Engine hosts at
-	// most one at a time.
-	sched *Scheduler
+	// most one at a time. schedFree parks the last drained session for
+	// reuse — its maps, mailbox and admission queue keep their capacity.
+	sched     *Scheduler
+	schedFree *Scheduler
 
 	// Session-scoped observability state (anchored by NewScheduler).
 	runStart time.Duration
@@ -73,6 +121,8 @@ type Engine struct {
 	mReparts *obs.Counter
 	mSlaves  *obs.Counter
 	mTasks   *obs.Counter
+	mSelIn   *obs.Counter
+	mSelOut  *obs.Counter
 	hTaskUs  *obs.Histogram
 }
 
@@ -119,6 +169,188 @@ func (e *Engine) putBatch(b *[]storage.Tuple) {
 	}
 	*b = (*b)[:0]
 	e.batchPool.Put(b)
+}
+
+// The batch pools are keyed by column shape: the column count plus two
+// bits per column (type, prunedness). Pruned columns key separately
+// because they carry no storage — mixing them with full batches of the
+// same schema would make Init allocate the missing vectors on every
+// Get. Shapes beyond 16 columns share low-bit buckets, which only
+// costs a rare Init reshape, never correctness.
+
+// sigOfSchema keys a schema shape, marking the indices in prune
+// (ascending) as pruned.
+func sigOfSchema(s storage.Schema, prune []int) uint64 {
+	sig := uint64(len(s.Cols)) << 32
+	pi := 0
+	for i := range s.Cols {
+		c := uint64(0)
+		if s.Cols[i].Typ == storage.Text {
+			c = 1
+		}
+		if pi < len(prune) && prune[pi] == i {
+			pi++
+			c |= 2
+		}
+		sig |= c << uint(2*i&31)
+	}
+	return sig
+}
+
+// sigOfVecs keys an existing batch's shape for Put.
+func sigOfVecs(vecs []storage.Vec) uint64 {
+	sig := uint64(len(vecs)) << 32
+	for i := range vecs {
+		c := uint64(0)
+		if vecs[i].Typ == storage.Text {
+			c = 1
+		}
+		if vecs[i].Pruned() {
+			c |= 2
+		}
+		sig |= c << uint(2*i&31)
+	}
+	return sig
+}
+
+// colPoolFor returns the batch free list for one column shape.
+func (e *Engine) colPoolFor(sig uint64) *sync.Pool {
+	e.colPoolMu.Lock()
+	p := e.colPools[sig]
+	if p == nil {
+		if e.colPools == nil {
+			e.colPools = make(map[uint64]*sync.Pool)
+		}
+		p = &sync.Pool{}
+		e.colPools[sig] = p
+	}
+	e.colPoolMu.Unlock()
+	return p
+}
+
+// getColBatch hands out an owned, empty columnar batch shaped for the
+// schema with at least capRows of row capacity.
+func (e *Engine) getColBatch(s storage.Schema, capRows int) *storage.ColBatch {
+	if v := e.colPoolFor(sigOfSchema(s, nil)).Get(); v != nil {
+		b := v.(*storage.ColBatch)
+		b.Init(s, capRows)
+		return b
+	}
+	return storage.NewColBatch(s, capRows)
+}
+
+// getColBatchPruned is getColBatch for a projection output: the listed
+// columns (ascending) come out pruned, with no storage allocated for
+// them.
+func (e *Engine) getColBatchPruned(s storage.Schema, capRows int, prune []int) *storage.ColBatch {
+	if v := e.colPoolFor(sigOfSchema(s, prune)).Get(); v != nil {
+		b := v.(*storage.ColBatch)
+		b.InitPruned(s, capRows, prune)
+		return b
+	}
+	b := &storage.ColBatch{}
+	b.InitPruned(s, capRows, prune)
+	return b
+}
+
+// putColBatch returns a columnar batch to its shape's pool. Views must
+// never be pooled — only owned batches whose vectors the next Init may
+// reuse.
+func (e *Engine) putColBatch(b *storage.ColBatch) {
+	if b == nil {
+		return
+	}
+	e.colPoolFor(sigOfVecs(b.Vecs)).Put(b)
+}
+
+// getHvs hands out an empty cached-hash slice (boxed) for one build
+// chunk; putHvs returns it after sealing consumed the chunk.
+func (e *Engine) getHvs(capHint int) *[]uint32 {
+	if v := e.hvsPool.Get(); v != nil {
+		h := v.(*[]uint32)
+		*h = (*h)[:0]
+		return h
+	}
+	h := make([]uint32, 0, capHint)
+	return &h
+}
+
+func (e *Engine) putHvs(h *[]uint32) {
+	if h == nil {
+		return
+	}
+	e.hvsPool.Put(h)
+}
+
+// getSealScratch and putSealScratch recycle the transient slices of one
+// partition seal.
+func (e *Engine) getSealScratch() *sealScratch {
+	if v := e.sealPool.Get(); v != nil {
+		return v.(*sealScratch)
+	}
+	return &sealScratch{}
+}
+
+func (e *Engine) putSealScratch(s *sealScratch) { e.sealPool.Put(s) }
+
+// getSlaveCtx hands out a slave execution context with its goroutine
+// body pre-bound, so spawning a slave allocates nothing in steady
+// state; putSlaveCtx resets and recycles it after the slave's work is
+// fully flushed.
+func (e *Engine) getSlaveCtx() *slaveCtx {
+	if v := e.scPool.Get(); v != nil {
+		return v.(*slaveCtx)
+	}
+	sc := &slaveCtx{}
+	sc.goFn = sc.run
+	return sc
+}
+
+func (e *Engine) putSlaveCtx(sc *slaveCtx) {
+	sc.reset()
+	e.scPool.Put(sc)
+}
+
+// getFragRun returns a compiled runtime for the fragment: a pooled one
+// rebound to this run's inputs when the fragment was executed before
+// (plan-cache hit), a freshly compiled one otherwise.
+func (e *Engine) getFragRun(frag *plan.Fragment, temps map[*plan.Fragment]*Temp, hashes map[*plan.Fragment]*HashTable, colHashes map[*plan.Fragment]*ColHashTable) (*fragRun, error) {
+	e.frMu.Lock()
+	var fr *fragRun
+	if frs := e.frFree[frag]; len(frs) > 0 {
+		fr = frs[len(frs)-1]
+		e.frFree[frag] = frs[:len(frs)-1]
+	}
+	e.frMu.Unlock()
+	if fr == nil {
+		return newFragRun(e, frag, temps, hashes, colHashes)
+	}
+	fr.rebind(temps, hashes, colHashes)
+	return fr, nil
+}
+
+// putFragRun drops a finished run's output references (the root temp
+// may have escaped into the caller's Report) and parks the compiled
+// runtime for the fragment's next execution.
+func (e *Engine) putFragRun(fr *fragRun) {
+	fr.temps, fr.hashes, fr.colHashes = nil, nil, nil
+	fr.outTemp, fr.outHash, fr.outColHash = nil, nil, nil
+	fr.agg = nil
+	e.frMu.Lock()
+	if e.frFree == nil {
+		e.frFree = make(map[*plan.Fragment][]*fragRun)
+	}
+	e.frFree[fr.frag] = append(e.frFree[fr.frag], fr)
+	e.frMu.Unlock()
+}
+
+// InvalidateCompiled drops every pooled fragment runtime. Callers
+// invalidating their plan cache (catalog changes) must call it too:
+// the pool is keyed by fragment pointers that die with the plans.
+func (e *Engine) InvalidateCompiled() {
+	e.frMu.Lock()
+	e.frFree = nil
+	e.frMu.Unlock()
 }
 
 // New creates an engine over the given store, deriving the scheduling

@@ -94,6 +94,10 @@ type pageSource interface {
 	// fetch returns the page's tuples after it became available,
 	// charging per-tuple CPU.
 	fetch(sc *slaveCtx, p int64) ([]storage.Tuple, error)
+	// fetchCols is the columnar twin of fetch: identical charges, but
+	// the page lands as a columnar batch (shared decode cache for
+	// physical pages, the slave's reusable buffer for synthetic ones).
+	fetchCols(sc *slaveCtx, p int64) (*storage.ColBatch, error)
 }
 
 // relSource reads a base relation through the store.
@@ -136,6 +140,30 @@ func (s *relSource) fetch(sc *slaveCtx, p int64) ([]storage.Tuple, error) {
 	return tuples, nil
 }
 
+func (s *relSource) fetchCols(sc *slaveCtx, p int64) (*storage.ColBatch, error) {
+	var cb *storage.ColBatch
+	var err error
+	if s.rel.Synthetic() {
+		if sc.colPageBuf == nil {
+			sc.colPageBuf = s.fr.eng.getColBatch(s.rel.Schema, s.fr.eng.batchSize())
+		} else {
+			// Init rather than Reset: the buffer survives in the pooled
+			// slave context across fragments with different schemas, and
+			// Init reshapes it (reusing storage when the shape matches).
+			sc.colPageBuf.Init(s.rel.Schema, s.fr.eng.batchSize())
+		}
+		cb, err = s.rel.PageColsInto(p, sc.colPageBuf)
+	} else {
+		cb, err = s.rel.PageCols(p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sc.chargeCPU(s.fr.eng.Params.SeqPageService)
+	sc.chargeCPU(s.perTuple * float64(cb.N))
+	return cb, nil
+}
+
 // tempSource reads a materialized temp chunk-wise; shared memory, so CPU
 // only.
 type tempSource struct {
@@ -151,6 +179,17 @@ func (s *tempSource) fetch(sc *slaveCtx, p int64) ([]storage.Tuple, error) {
 	tuples := s.temp.Chunk(p)
 	sc.chargeCPU(s.fr.eng.Params.TempReadCPU * float64(len(tuples)))
 	return tuples, nil
+}
+
+func (s *tempSource) fetchCols(sc *slaveCtx, p int64) (*storage.ColBatch, error) {
+	view, vecs, ok := s.temp.ChunkCols(p, sc.tempVecs)
+	sc.tempVecs = vecs
+	if !ok {
+		view = storage.ColBatch{}
+	}
+	sc.tempView = view
+	sc.chargeCPU(s.fr.eng.Params.TempReadCPU * float64(view.N))
+	return &sc.tempView, nil
 }
 
 // prefetchDepth returns how many page reads a slave keeps in flight:
@@ -218,21 +257,25 @@ func newPageDriver(fr *fragRun, leaf plan.Node) (*pageDriver, error) {
 	}
 }
 
-// initial implements driver: page p goes to slave p mod degree.
+// initial implements driver: page p goes to slave p mod degree. All
+// assignments share two backing arrays (each slave's seg slice is
+// capacity-clamped, so a repartition append never aliases a neighbor).
 func (d *pageDriver) initial(degree int) ([]assignment, error) {
 	if degree < 1 {
 		return nil, fmt.Errorf("exec: degree %d", degree)
 	}
 	np := d.src.npages()
 	out := make([]assignment, degree)
-	for i := 0; i < degree; i++ {
-		if int64(i) >= np {
-			continue // more slaves than pages
-		}
-		out[i] = &pageAssign{
-			segs:     []strideSeg{{idx: i, n: degree, next: int64(i), limit: -1}},
-			frontier: -1,
-		}
+	n := degree
+	if int64(n) > np {
+		n = int(np) // more slaves than pages
+	}
+	pas := make([]pageAssign, n)
+	segs := make([]strideSeg, n)
+	for i := 0; i < n; i++ {
+		segs[i] = strideSeg{idx: i, n: degree, next: int64(i), limit: -1}
+		pas[i] = pageAssign{segs: segs[i : i+1 : i+1], frontier: -1}
+		out[i] = &pas[i]
 	}
 	return out, nil
 }
@@ -287,46 +330,70 @@ func (d *pageDriver) repartition(remaining []report, degree int) ([]assignment, 
 	return out, nil
 }
 
+// inflight is one posted-but-unserved page read of a slave's readahead
+// queue.
+type inflight struct {
+	page  int64
+	avail time.Duration
+}
+
+// serve processes one posted page: settle all simulated work preceding
+// the disk wait (invariant 2 in pipeline.go), block until the page is
+// available, then feed it through the fragment pipeline batch-wise.
+func (d *pageDriver) serve(sc *slaveCtx, head inflight) error {
+	sc.flushCPU()
+	d.fr.eng.Clock.SleepUntil(head.avail)
+	bsz := d.fr.eng.batchSize()
+	if d.fr.colRoot != nil {
+		cb, err := d.src.fetchCols(sc, head.page)
+		if err != nil {
+			return err
+		}
+		for lo := 0; lo < cb.N; lo += bsz {
+			hi := lo + bsz
+			if hi > cb.N {
+				hi = cb.N
+			}
+			sc.colView, sc.colViewVecs = cb.Slice(lo, hi, sc.colViewVecs)
+			if err := d.fr.processColBatch(sc, &sc.colView); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	tuples, err := d.src.fetch(sc, head.page)
+	if err != nil {
+		return err
+	}
+	for len(tuples) > 0 {
+		n := len(tuples)
+		if n > bsz {
+			n = bsz
+		}
+		if err := d.fr.processBatch(sc, tuples[:n]); err != nil {
+			return err
+		}
+		tuples = tuples[n:]
+	}
+	return nil
+}
+
 // run implements driver: the slave backend's scan loop with readahead.
 // The in-flight queue never survives an adjustment round: when the
 // master signals a pause the slave stops refilling, drains what it
 // already posted (those pages are processed, keeping the exactly-once
-// invariant), and only then reports.
+// invariant), and only then reports. The queue lives in the slave
+// context's reusable scratch; pops shift the tiny prefix down so the
+// backing array survives the whole scan.
 func (d *pageDriver) run(sc *slaveCtx) error {
 	a, ok := sc.state.assign.(*pageAssign)
 	if !ok {
 		return fmt.Errorf("exec: page slave got assignment %T", sc.state.assign)
 	}
 	np := d.src.npages()
-	type inflight struct {
-		page  int64
-		avail time.Duration
-	}
-	var q []inflight
-	bsz := d.fr.eng.batchSize()
-	serve := func(head inflight) error {
-		// Settle all simulated work preceding this disk wait (invariant 2
-		// in pipeline.go), then block until the page is available.
-		sc.flushCPU()
-		d.fr.eng.Clock.SleepUntil(head.avail)
-		tuples, err := d.src.fetch(sc, head.page)
-		if err != nil {
-			return err
-		}
-		for len(tuples) > 0 {
-			n := len(tuples)
-			if n > bsz {
-				n = bsz
-			}
-			if err := d.fr.processBatch(sc, tuples[:n]); err != nil {
-				return err
-			}
-			tuples = tuples[n:]
-		}
-		return nil
-	}
+	sc.inflightQ = sc.inflightQ[:0]
 	for {
-		for len(q) < d.prefetchDepth() {
+		for len(sc.inflightQ) < d.prefetchDepth() {
 			p, more := a.pop(np)
 			if !more {
 				break
@@ -338,22 +405,22 @@ func (d *pageDriver) run(sc *slaveCtx) error {
 				a.frontier = p
 			}
 			d.noteScanned(p)
-			q = append(q, inflight{page: p, avail: d.src.enqueue(sc, p)})
+			sc.inflightQ = append(sc.inflightQ, inflight{page: p, avail: d.src.enqueue(sc, p)})
 		}
-		if len(q) == 0 {
+		if len(sc.inflightQ) == 0 {
 			return nil
 		}
-		head := q[0]
-		q = q[1:]
-		if err := serve(head); err != nil {
+		head := sc.inflightQ[0]
+		sc.inflightQ = sc.inflightQ[:copy(sc.inflightQ, sc.inflightQ[1:])]
+		if err := d.serve(sc, head); err != nil {
 			return err
 		}
 		next := sc.checkpoint(a)
 		if next == nil {
 			// Retired; in-flight pages are already committed to us, so
 			// they must still be served before exiting.
-			for _, head := range q {
-				if err := serve(head); err != nil {
+			for _, head := range sc.inflightQ {
+				if err := d.serve(sc, head); err != nil {
 					return err
 				}
 			}

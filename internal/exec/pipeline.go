@@ -58,15 +58,29 @@ type fragRun struct {
 	frag *plan.Fragment
 
 	// inputs, resolved from the engine's run context at launch
-	temps  map[*plan.Fragment]*Temp
-	hashes map[*plan.Fragment]*HashTable
+	temps     map[*plan.Fragment]*Temp
+	hashes    map[*plan.Fragment]*HashTable
+	colHashes map[*plan.Fragment]*ColHashTable
 
-	outTemp *Temp      // for RootOut / TempOut / SortedOut
-	outHash *HashTable // for HashOut
-	agg     *aggState  // non-nil when the fragment root is an Agg
+	outTemp    *Temp         // for RootOut / TempOut / SortedOut
+	outHash    *HashTable    // for HashOut on the row path
+	outColHash *ColHashTable // for HashOut on the columnar path
+	agg        *aggState     // non-nil when the fragment root is an Agg
+
+	// Rebind ingredients, fixed at compile time: pooled runtimes recreate
+	// the per-run outputs above from these without recompiling (see
+	// rebind). aggNode remembers the root Agg so a fresh accumulator state
+	// can be built per run.
+	outSchema storage.Schema
+	hashParts int
+	aggNode   *plan.Agg
 
 	// root is the compiled pipeline the drivers feed batches into.
 	root consumer
+	// colRoot is the compiled columnar pipeline; non-nil when the
+	// fragment runs on the columnar path (page drivers then feed columnar
+	// batches instead of tuple batches).
+	colRoot colProc
 
 	// nArenas counts the per-slave value-arena slots handed out to
 	// emitting operators at compile time.
@@ -74,6 +88,10 @@ type fragRun struct {
 	// nProbes counts the per-slave probe-scratch slots handed out to
 	// hash joins at compile time.
 	nProbes int
+	// nColOuts and nSels count the per-slave columnar output-batch and
+	// selection-scratch slots handed out at compile time.
+	nColOuts int
+	nSels    int
 
 	// obsTid is the fragment's trace lane (0 when tracing is off).
 	obsTid int
@@ -124,10 +142,12 @@ func (fr *fragRun) emitLimit(cons consumer) int {
 }
 
 // newFragRun wires a fragment to its materialized inputs and compiles
-// the pipeline.
-func newFragRun(eng *Engine, frag *plan.Fragment, temps map[*plan.Fragment]*Temp, hashes map[*plan.Fragment]*HashTable) (*fragRun, error) {
-	fr := &fragRun{eng: eng, frag: frag, temps: temps, hashes: hashes}
-	outSchema := frag.Root.OutSchema()
+// the pipeline: columnar when the fragment shape supports it (and the
+// engine isn't forced onto row batches), row otherwise.
+func newFragRun(eng *Engine, frag *plan.Fragment, temps map[*plan.Fragment]*Temp, hashes map[*plan.Fragment]*HashTable, colHashes map[*plan.Fragment]*ColHashTable) (*fragRun, error) {
+	fr := &fragRun{eng: eng, frag: frag, temps: temps, hashes: hashes, colHashes: colHashes}
+	useCol := !eng.RowBatches && fr.colSupported()
+	fr.outSchema = frag.Root.OutSchema()
 	switch frag.Out {
 	case plan.HashOut:
 		parts := eng.HashPartitions
@@ -137,10 +157,23 @@ func newFragRun(eng *Engine, frag *plan.Fragment, temps map[*plan.Fragment]*Temp
 		if parts <= 0 {
 			parts = DefaultHashPartitions
 		}
-		fr.outHash = NewHashTableP(outSchema, frag.HashCol, parts, eng.Env.NProcs)
+		fr.hashParts = parts
+		if useCol {
+			fr.outColHash = NewColHashTable(eng, fr.outSchema, frag.HashCol, parts, eng.Env.NProcs)
+		} else {
+			fr.outHash = NewHashTableP(fr.outSchema, frag.HashCol, parts, eng.Env.NProcs)
+		}
 	default:
-		fr.outTemp = NewTemp(outSchema)
+		fr.outTemp = NewTemp(fr.outSchema)
 		fr.outTemp.sortProcs = eng.Env.NProcs
+	}
+	if useCol {
+		croot, err := fr.compileCol(frag.Root, fr.compileColSink(), true, nil)
+		if err != nil {
+			return nil, err
+		}
+		fr.colRoot = croot.proc
+		return fr, nil
 	}
 	root, err := fr.compile(frag.Root, fr.compileSink(), true)
 	if err != nil {
@@ -148,6 +181,35 @@ func newFragRun(eng *Engine, frag *plan.Fragment, temps map[*plan.Fragment]*Temp
 	}
 	fr.root = root
 	return fr, nil
+}
+
+// rebind readies a pooled runtime for another execution of its
+// fragment: fresh outputs (the previous run's escaped into its Report
+// or were released with its query), this run's input maps, and zeroed
+// counters. The compiled closures need no attention — they read all of
+// this through the fragRun pointer at call time.
+func (fr *fragRun) rebind(temps map[*plan.Fragment]*Temp, hashes map[*plan.Fragment]*HashTable, colHashes map[*plan.Fragment]*ColHashTable) {
+	fr.temps, fr.hashes, fr.colHashes = temps, hashes, colHashes
+	switch fr.frag.Out {
+	case plan.HashOut:
+		if fr.colRoot != nil {
+			fr.outColHash = NewColHashTable(fr.eng, fr.outSchema, fr.frag.HashCol, fr.hashParts, fr.eng.Env.NProcs)
+		} else {
+			fr.outHash = NewHashTableP(fr.outSchema, fr.frag.HashCol, fr.hashParts, fr.eng.Env.NProcs)
+		}
+	default:
+		fr.outTemp = NewTemp(fr.outSchema)
+		fr.outTemp.sortProcs = fr.eng.Env.NProcs
+	}
+	if fr.aggNode != nil {
+		fr.agg = newAggState(fr.aggNode)
+		if fr.colRoot != nil {
+			fr.agg.eng = fr.eng
+		}
+	}
+	fr.statTuplesIn.Store(0)
+	fr.statTuplesOut.Store(0)
+	fr.statBatches.Store(0)
 }
 
 // finalize seals the fragment output after all slaves finished, charging
@@ -169,6 +231,9 @@ func (fr *fragRun) finalize() {
 		// batch; sealing is wall-clock-only work and leaves the virtual
 		// clock untouched.
 		fr.outHash.Seal()
+	}
+	if fr.outColHash != nil {
+		fr.outColHash.Seal()
 	}
 }
 
@@ -225,6 +290,7 @@ func (fr *fragRun) compile(n plan.Node, cons consumer, atRoot bool) (consumer, e
 		if !atRoot {
 			return consumer{}, fmt.Errorf("exec: Agg below fragment root")
 		}
+		fr.aggNode = x
 		fr.agg = newAggState(x)
 		foldCPU := fr.eng.Params.HashInsertCPU
 		acc := consumer{proc: func(sc *slaveCtx, ts []storage.Tuple) error {
@@ -262,15 +328,27 @@ func (fr *fragRun) compile(n plan.Node, cons consumer, atRoot bool) (consumer, e
 		limit := fr.emitLimit(cons)
 		probe := consumer{blocking: cons.blocking, proc: func(sc *slaveCtx, lts []storage.Tuple) error {
 			ht := fr.hashes[buildFrag]
+			var cht *ColHashTable
 			if ht == nil {
-				return fmt.Errorf("exec: hash table for fragment f%d not built", buildFrag.ID)
+				cht = fr.colHashes[buildFrag]
+				if cht == nil {
+					return fmt.Errorf("exec: hash table for fragment f%d not built", buildFrag.ID)
+				}
 			}
 			sc.chargeCPUPer(probeCPU, len(lts))
 			// Resolve the whole batch of probe tuples up front: one fused
 			// lock-free pass extracts, hashes and walks with the seal check
-			// hoisted out of the loop.
+			// hoisted out of the loop. A columnar build table bridges by
+			// materializing the match rows into the probe scratch — same
+			// charges, wall-clock cost only.
 			ps := sc.probeScratch(pslot)
-			matches, err := ht.ProbeTupleBatch(lts, lcol, ps.matches[:0])
+			var matches [][]storage.Tuple
+			var err error
+			if ht != nil {
+				matches, err = ht.ProbeTupleBatch(lts, lcol, ps.matches[:0])
+			} else {
+				matches, err = sc.probeColTable(cht, lts, lcol, ps)
+			}
 			ps.matches = matches[:0]
 			if err != nil {
 				return err

@@ -104,6 +104,11 @@ type query struct {
 	finished  int // completions observed (real or synthesized)
 	failed    error
 
+	// frs are the fragment runtimes this query started; they return to
+	// the engine's compiled-runtime pool when the query settles (every
+	// slave has exited by then, so nothing references them).
+	frs []*fragRun
+
 	rep *Report
 }
 
@@ -124,7 +129,11 @@ type submitMsg struct{ q *query }
 
 type drainMsg struct{ ack chan struct{} }
 
-type arrivalTick struct{ qid, id int }
+// arrivalTick carries the session generation that scheduled it: a
+// poisoned query can settle with its arrival timers still pending, and
+// a recycled session must not mistake such a stale tick (same mailbox,
+// possibly a reused query ID) for its own.
+type arrivalTick struct{ gen, qid, id int }
 
 // Scheduler is the persistent scheduling service. Create one with
 // NewScheduler (which spawns the master backend on a clock-registered
@@ -138,6 +147,10 @@ type Scheduler struct {
 
 	events *vclock.Mailbox
 	start  time.Duration
+	// gen counts the sessions this (pooled) scheduler has served; loopFn
+	// is the master-loop body bound once at creation.
+	gen    int
+	loopFn func()
 
 	// mu guards the client-facing state (query-ID allocation, live task
 	// IDs, the drained flag) and orders client Posts against Drain's.
@@ -145,6 +158,10 @@ type Scheduler struct {
 	nextQID int
 	closed  bool
 	liveIDs map[int]int // task ID -> query ID, for cross-query collisions
+	// qFree recycles query bookkeeping (spec/arrival/completion maps)
+	// across queries; guarded by mu because Submit runs on client
+	// goroutines while finishQuery recycles on the master loop.
+	qFree []*query
 
 	// Master-owned state (touched only by the loop goroutine).
 	queries   map[int]*query
@@ -156,6 +173,7 @@ type Scheduler struct {
 	running   map[int]*runningTask
 	temps     map[*plan.Fragment]*Temp
 	hashes    map[*plan.Fragment]*HashTable
+	colHashes map[*plan.Fragment]*ColHashTable
 	draining  bool
 	drainAck  chan struct{}
 
@@ -176,18 +194,27 @@ func NewScheduler(e *Engine, policy core.Policy, opts core.Options, adm Admissio
 	if e.sched != nil {
 		panic("exec: engine already hosts a live scheduler (Drain the previous one first)")
 	}
-	s := &Scheduler{
-		eng:     e,
-		ctl:     core.NewController(e.Env, policy, opts),
-		adm:     adm,
-		events:  vclock.NewMailbox(e.Clock),
-		liveIDs: make(map[int]int),
-		queries: make(map[int]*query),
-		byTask:  make(map[int]*query),
-		running: make(map[int]*runningTask),
-		temps:   make(map[*plan.Fragment]*Temp),
-		hashes:  make(map[*plan.Fragment]*HashTable),
+	s := e.schedFree
+	e.schedFree = nil
+	if s == nil {
+		s = &Scheduler{
+			eng:       e,
+			events:    vclock.NewMailbox(e.Clock),
+			liveIDs:   make(map[int]int),
+			queries:   make(map[int]*query),
+			byTask:    make(map[int]*query),
+			running:   make(map[int]*runningTask),
+			temps:     make(map[*plan.Fragment]*Temp),
+			hashes:    make(map[*plan.Fragment]*HashTable),
+			colHashes: make(map[*plan.Fragment]*ColHashTable),
+		}
+		s.loopFn = s.loop
+	} else {
+		s.resetSession()
 	}
+	s.gen++
+	s.ctl = core.NewController(e.Env, policy, opts)
+	s.adm = adm
 	e.sched = s
 	e.events = s.events
 	e.Store.Disks.ResetStats()
@@ -199,6 +226,8 @@ func NewScheduler(e *Engine, policy core.Policy, opts core.Options, adm Admissio
 	e.mReparts = e.Metrics.Counter("exec.repartitions")
 	e.mSlaves = e.Metrics.Counter("exec.slaves_spawned")
 	e.mTasks = e.Metrics.Counter("exec.tasks_completed")
+	e.mSelIn = e.Metrics.Counter("exec.sel_rows_in")
+	e.mSelOut = e.Metrics.Counter("exec.sel_rows_out")
 	e.hTaskUs = e.Metrics.Histogram("exec.task_micros")
 	e.Store.Disks.SetObserver(e.Trace, e.Metrics, s.start)
 	e.Store.RegisterMetrics(e.Metrics)
@@ -207,8 +236,30 @@ func NewScheduler(e *Engine, policy core.Policy, opts core.Options, adm Admissio
 	s.gAdmitQ = e.Metrics.Gauge("sched.admission_queued")
 	s.gInflight = e.Metrics.Gauge("sched.queries_running")
 	s.hWaitUs = e.Metrics.Histogram("sched.queue_wait_micros")
-	e.Clock.Go(s.loop)
+	e.Clock.Go(s.loopFn)
 	return s
+}
+
+// resetSession readies a drained scheduler for another session. Every
+// collection is already empty after a clean Drain (the loop only exits
+// with no queries in flight); the clears are insurance against a
+// poisoned session leaving residue, and keep map capacity either way.
+func (s *Scheduler) resetSession() {
+	s.nextQID = 0
+	s.closed = false
+	clear(s.liveIDs)
+	clear(s.queries)
+	clear(s.byTask)
+	s.admitQ = s.admitQ[:0]
+	s.nAdmitted = 0
+	s.memInUse = 0
+	s.inflight = 0
+	clear(s.running)
+	clear(s.temps)
+	clear(s.hashes)
+	clear(s.colHashes)
+	s.draining = false
+	s.drainAck = nil
 }
 
 // now returns session-relative virtual time.
@@ -221,15 +272,18 @@ func (s *Scheduler) now() time.Duration { return s.eng.Clock.Now() - s.start }
 // Arrival is relative to the query's admission instant (zero, the
 // common case for online submission, means "run as soon as admitted").
 func (s *Scheduler) Submit(specs []TaskSpec) (*QueryHandle, error) {
-	byID := make(map[int]*TaskSpec, len(specs))
-	ids := make([]int, 0, len(specs))
+	q := s.getQuery()
+	byID := q.specs
+	ids := q.ids[:0]
 	var mem int64
 	for i := range specs {
 		sp := &specs[i]
 		if sp.Task == nil || sp.Frag == nil {
+			s.putQuery(q)
 			return nil, fmt.Errorf("exec: spec %d missing task or fragment", i)
 		}
 		if _, dup := byID[sp.Task.ID]; dup {
+			s.putQuery(q)
 			return nil, fmt.Errorf("exec: duplicate task ID %d", sp.Task.ID)
 		}
 		byID[sp.Task.ID] = sp
@@ -239,21 +293,21 @@ func (s *Scheduler) Submit(specs []TaskSpec) (*QueryHandle, error) {
 	for _, sp := range byID {
 		for _, dep := range sp.DependsOn {
 			if _, ok := byID[dep]; !ok {
+				s.putQuery(q)
 				return nil, fmt.Errorf("exec: task %d depends on unknown %d", sp.Task.ID, dep)
 			}
 		}
 	}
 	slices.Sort(ids)
 
-	q := &query{
-		specs: byID,
-		ids:   ids,
-		mem:   mem,
-		rep: &Report{
-			Finish:  make(map[int]time.Duration),
-			Results: make(map[int]*Temp),
-			Frags:   make(map[int]FragStat),
-		},
+	q.ids = ids
+	q.mem = mem
+	// The report and handle escape to the caller, so they are the one
+	// per-query allocation that cannot recycle.
+	q.rep = &Report{
+		Finish:  make(map[int]time.Duration),
+		Results: make(map[int]*Temp),
+		Frags:   make(map[int]FragStat),
 	}
 
 	// Register and post under mu: a Submit that passes the closed check
@@ -276,10 +330,49 @@ func (s *Scheduler) Submit(specs []TaskSpec) (*QueryHandle, error) {
 		s.liveIDs[id] = q.id
 	}
 	q.traceMark = s.eng.Trace.Mark()
-	q.handle = &QueryHandle{id: q.id, sched: s, done: make(chan struct{})}
+	q.handle = &QueryHandle{id: q.id, sched: s, done: make(chan struct{}, 1)}
 	s.events.Post(submitMsg{q: q})
 	s.mu.Unlock()
 	return q.handle, nil
+}
+
+// getQuery hands out recycled query bookkeeping; putQuery clears and
+// reclaims it. A query recycles when it settles (finishQuery) — its
+// handle and report have escaped to the caller by then and are detached
+// first — or when Submit rejects it before registration.
+func (s *Scheduler) getQuery() *query {
+	s.mu.Lock()
+	var q *query
+	if n := len(s.qFree); n > 0 {
+		q = s.qFree[n-1]
+		s.qFree = s.qFree[:n-1]
+	}
+	s.mu.Unlock()
+	if q == nil {
+		q = &query{specs: make(map[int]*TaskSpec)}
+	}
+	return q
+}
+
+func (s *Scheduler) putQuery(q *query) {
+	clear(q.specs)
+	q.ids = q.ids[:0]
+	q.mem = 0
+	q.submitRel, q.admitRel = 0, 0
+	q.admitted = false
+	q.traceMark = 0
+	clear(q.arrived)
+	clear(q.submitted)
+	clear(q.done)
+	q.started, q.finished = 0, 0
+	q.failed = nil
+	q.frs = nil
+	q.rep = nil
+	q.handle = nil
+	q.id = 0
+	s.mu.Lock()
+	s.qFree = append(s.qFree, q)
+	s.mu.Unlock()
 }
 
 // Drain blocks until every submitted query has completed, then stops the
@@ -293,11 +386,14 @@ func (s *Scheduler) Drain() error {
 		return nil
 	}
 	s.closed = true
-	ack := make(chan struct{})
+	ack := make(chan struct{}, 1)
 	s.events.Post(drainMsg{ack: ack})
 	s.mu.Unlock()
 	s.eng.Clock.WaitSignal(ack)
 	s.eng.sched = nil
+	// The loop goroutine has exited; park the session (maps, mailbox,
+	// admission queue keep their capacity) for the next NewScheduler.
+	s.eng.schedFree = s
 	return nil
 }
 
@@ -312,6 +408,9 @@ func (s *Scheduler) loop() {
 		case submitMsg:
 			s.onSubmit(ev.q)
 		case arrivalTick:
+			if ev.gen != s.gen {
+				break // stale timer from a drained session
+			}
 			if q, ok := s.queries[ev.qid]; ok {
 				q.arrived[ev.id] = true
 				s.submitReady()
@@ -334,26 +433,32 @@ func (s *Scheduler) loop() {
 // parks it in the admission queue.
 func (s *Scheduler) onSubmit(q *query) {
 	q.submitRel = s.now()
-	q.arrived = make(map[int]bool, len(q.ids))
-	q.submitted = make(map[int]bool, len(q.ids))
-	q.done = make(map[int]bool, len(q.ids))
+	if q.arrived == nil {
+		q.arrived = make(map[int]bool, len(q.ids))
+		q.submitted = make(map[int]bool, len(q.ids))
+		q.done = make(map[int]bool, len(q.ids))
+	}
 	s.queries[q.id] = q
 	for _, id := range q.ids {
 		s.byTask[id] = q
 	}
 	s.inflight++
 	s.gInflight.Set(int64(s.inflight))
-	s.eng.schedEvent("submit", fmt.Sprintf(
-		"query %d: %d tasks, %d B working set", q.id, len(q.ids), q.mem))
+	if s.eng.Trace != nil {
+		s.eng.schedEvent("submit", fmt.Sprintf(
+			"query %d: %d tasks, %d B working set", q.id, len(q.ids), q.mem))
+	}
 	if s.admits(q) {
 		s.admit(q)
 		return
 	}
 	s.admitQ = append(s.admitQ, q)
 	s.gAdmitQ.Set(int64(len(s.admitQ)))
-	s.eng.schedEvent("admission-wait", fmt.Sprintf(
-		"query %d queued: %d B in use of %d budget, %d/%d queries admitted",
-		q.id, s.memInUse, s.adm.MemoryBudget, s.nAdmitted, s.adm.MaxQueries))
+	if s.eng.Trace != nil {
+		s.eng.schedEvent("admission-wait", fmt.Sprintf(
+			"query %d queued: %d B in use of %d budget, %d/%d queries admitted",
+			q.id, s.memInUse, s.adm.MemoryBudget, s.nAdmitted, s.adm.MaxQueries))
+	}
 }
 
 // admits reports whether the query fits the admission budget right now.
@@ -382,11 +487,13 @@ func (s *Scheduler) admit(q *query) {
 	s.memInUse += q.mem
 	wait := q.admitRel - q.submitRel
 	s.hWaitUs.Observe(int64(wait / time.Microsecond))
-	if wait > 0 {
-		s.eng.schedEvent("admit", fmt.Sprintf(
-			"query %d admitted after %v in the admission queue", q.id, wait))
-	} else {
-		s.eng.schedEvent("admit", fmt.Sprintf("query %d admitted immediately", q.id))
+	if s.eng.Trace != nil {
+		if wait > 0 {
+			s.eng.schedEvent("admit", fmt.Sprintf(
+				"query %d admitted after %v in the admission queue", q.id, wait))
+		} else {
+			s.eng.schedEvent("admit", fmt.Sprintf("query %d admitted immediately", q.id))
+		}
 	}
 	// Arrival timers post ticks through the mailbox, exactly as the
 	// one-shot batch path registered them. Iterate in ID order so timer
@@ -399,14 +506,14 @@ func (s *Scheduler) admit(q *query) {
 			continue
 		}
 		at := s.eng.Clock.Now() + sp.Arrival
-		qid, tid := q.id, id
+		gen, qid, tid := s.gen, q.id, id
 		s.eng.Clock.Go(func() {
 			if v, ok := s.eng.Clock.(*vclock.Virtual); ok {
 				v.SleepUntil(at)
 			} else {
 				s.eng.Clock.Sleep(at - s.eng.Clock.Now())
 			}
-			s.events.Post(arrivalTick{qid: qid, id: tid})
+			s.events.Post(arrivalTick{gen: gen, qid: qid, id: tid})
 		})
 	}
 	if len(q.specs) == 0 {
@@ -499,11 +606,12 @@ func (s *Scheduler) apply(d core.Decision) {
 	for _, st := range d.Starts {
 		q := s.byTask[st.Task.ID]
 		spec := q.specs[st.Task.ID]
-		fr, err := newFragRun(e, spec.Frag, s.temps, s.hashes)
+		fr, err := e.getFragRun(spec.Frag, s.temps, s.hashes, s.colHashes)
 		if err != nil {
 			s.abortStart(q, st.Task, err)
 			continue
 		}
+		q.frs = append(q.frs, fr)
 		drv, err := e.driverFor(fr)
 		if err != nil {
 			s.abortStart(q, st.Task, err)
@@ -580,7 +688,11 @@ func (s *Scheduler) onTaskDone(ev taskDone) {
 		frag := q.specs[id].Frag
 		switch frag.Out {
 		case plan.HashOut:
-			s.hashes[frag] = ev.rt.fr.outHash
+			if ev.rt.fr.outColHash != nil {
+				s.colHashes[frag] = ev.rt.fr.outColHash
+			} else {
+				s.hashes[frag] = ev.rt.fr.outHash
+			}
 		case plan.RootOut:
 			s.temps[frag] = ev.rt.fr.outTemp
 			q.rep.Results[id] = ev.rt.fr.outTemp
@@ -628,7 +740,15 @@ func (s *Scheduler) finishQuery(q *query) {
 		delete(s.byTask, id)
 		delete(s.temps, q.specs[id].Frag)
 		delete(s.hashes, q.specs[id].Frag)
+		if cht := s.colHashes[q.specs[id].Frag]; cht != nil {
+			cht.release()
+			delete(s.colHashes, q.specs[id].Frag)
+		}
 	}
+	for _, fr := range q.frs {
+		e.putFragRun(fr)
+	}
+	q.frs = nil
 	s.inflight--
 	s.nAdmitted--
 	s.memInUse -= q.mem
@@ -638,8 +758,10 @@ func (s *Scheduler) finishQuery(q *query) {
 		delete(s.liveIDs, id)
 	}
 	s.mu.Unlock()
-	e.schedEvent("query-done", fmt.Sprintf(
-		"query %d: %d tasks in %v (queue wait %v)", q.id, len(q.ids), rep.Elapsed, rep.QueueWait))
+	if e.Trace != nil {
+		e.schedEvent("query-done", fmt.Sprintf(
+			"query %d: %d tasks in %v (queue wait %v)", q.id, len(q.ids), rep.Elapsed, rep.QueueWait))
+	}
 
 	if q.failed != nil {
 		q.handle.settle(nil, q.failed)
@@ -656,4 +778,6 @@ func (s *Scheduler) finishQuery(q *query) {
 		s.gAdmitQ.Set(int64(len(s.admitQ)))
 		s.admit(next)
 	}
+
+	s.putQuery(q)
 }

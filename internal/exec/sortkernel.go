@@ -96,6 +96,66 @@ func parallelStableSort(ts []storage.Tuple, col int, runs []int, procs int) []st
 	return sorted
 }
 
+// sortColBatch stably sorts an owned columnar batch in place on col,
+// through the same packed-key span machinery as parallelStableSort: the
+// packed order is a pure function of (keys, arrival order), so the row
+// and columnar paths produce the identical permutation. The gather pass
+// permutes every column; text buffers rebuild by appending in
+// destination order.
+func sortColBatch(cb *storage.ColBatch, col int, runs []int, procs int) {
+	n := cb.N
+	if n < 2 {
+		return
+	}
+	keys := cb.Vecs[col].Ints
+	packed := make([]uint64, n)
+	for i, k := range keys {
+		packed[i] = packKey(k, i)
+	}
+	if procs > runtime.GOMAXPROCS(0) {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	if n < parallelSortMinRows {
+		slices.Sort(packed)
+	} else {
+		var offs []int
+		if procs <= 1 {
+			offs = normalizeRuns(runs, n)
+		} else {
+			offs = chunkOffsets(n, runs, procs)
+		}
+		sortSpans(packed, offs, procs)
+		offs = coalesceSpans(packed, offs)
+		mergeSpans(packed, offs, procs)
+	}
+	for c := range cb.Vecs {
+		v := &cb.Vecs[c]
+		if v.Pruned() {
+			continue
+		}
+		switch v.Typ {
+		case storage.Int4:
+			ni := make([]int32, n)
+			for i, p := range packed {
+				ni[i] = v.Ints[p&0xffffffff]
+			}
+			v.Ints = ni
+		case storage.Text:
+			// Spans are absolute into Buf, so reordering rows only
+			// permutes the (start, end) arrays; the payload bytes stay
+			// where they are and aliased runs stay shared.
+			no := make([]int32, n)
+			ne := make([]int32, n)
+			for i, p := range packed {
+				r := int(p & 0xffffffff)
+				no[i] = v.Off[r]
+				ne[i] = v.End[r]
+			}
+			v.Off, v.End = no, ne
+		}
+	}
+}
+
 // normalizeRuns turns recorded run ends into span offsets: ascending,
 // starting at 0, ending at n, tolerating missing or stale entries.
 func normalizeRuns(runs []int, n int) []int {

@@ -120,7 +120,9 @@ func (rt *runningTask) launch(degree int) error {
 // spawnLocked registers and starts one slave goroutine. Caller holds
 // rt.mu.
 func (rt *runningTask) spawnLocked(a assignment) {
-	s := &slaveState{slot: rt.nextSlot, assign: a}
+	sc := rt.eng.getSlaveCtx()
+	s := &sc.stateVal
+	*s = slaveState{slot: rt.nextSlot, assign: a}
 	rt.nextSlot++
 	rt.slaves[s.slot] = s
 	rt.active++
@@ -129,21 +131,36 @@ func (rt *runningTask) spawnLocked(a assignment) {
 		s.startAt = rt.eng.now()
 		s.obsTid = rt.eng.Trace.Lane(obs.PidTasks, fmt.Sprintf("%s/s%d", rt.task.Name, s.slot))
 	}
-	sc := &slaveCtx{rt: rt, state: s}
-	key := slaveKey(rt.task.ID, s.slot)
-	rt.eng.Clock.Go(func() {
-		// Park before any side effect so simultaneously spawned slaves
-		// touch the disk queues in a deterministic order.
-		rt.eng.Clock.YieldOrdered(key)
-		err := rt.drv.run(sc)
-		sc.flushAll()
-		rt.slaveExit(s, err)
-	})
+	sc.rt, sc.state = rt, s
+	rt.eng.Clock.Go(sc.goFn)
+}
+
+// run is the slave goroutine body, pre-bound into goFn when the context
+// is first created so a spawn allocates neither a closure nor scratch.
+func (sc *slaveCtx) run() {
+	rt, s := sc.rt, sc.state
+	// Park before any side effect so simultaneously spawned slaves
+	// touch the disk queues in a deterministic order.
+	rt.eng.Clock.YieldOrdered(slaveKey(rt.task.ID, s.slot))
+	err := rt.drv.run(sc)
+	sc.flushAll()
+	// The slave's state is embedded in the context, so the context can
+	// only recycle once the master provably holds no reference: slaveExit
+	// reports whether an adjustment round might still read the state.
+	if rt.slaveExit(s, err) {
+		rt.eng.putSlaveCtx(sc)
+	}
 }
 
 // slaveExit removes a finished slave, feeding any active adjustment
-// round and posting task completion when the last slave leaves.
-func (rt *runningTask) slaveExit(s *slaveState, err error) {
+// round and posting task completion when the last slave leaves. It
+// returns whether the slave's state is safe to recycle: with no round
+// active at removal the master cannot collect this slave as a
+// participant anymore (it is out of rt.slaves), and a finished round
+// never revisits its participants, so the state is unreferenced. During
+// an active round the master may still read done/progress after the
+// report signal, so the context is abandoned to the GC instead.
+func (rt *runningTask) slaveExit(s *slaveState, err error) bool {
 	rt.mu.Lock()
 	if err != nil && rt.failure == nil {
 		rt.failure = err
@@ -160,6 +177,7 @@ func (rt *runningTask) slaveExit(s *slaveState, err error) {
 		s.done = true
 		reportCh = s.reportCh
 	}
+	recycle := !rt.round
 	failure := rt.failure
 	rt.mu.Unlock()
 	if rt.eng.Trace != nil {
@@ -173,6 +191,7 @@ func (rt *runningTask) slaveExit(s *slaveState, err error) {
 	if last {
 		rt.complete(failure)
 	}
+	return recycle
 }
 
 // complete finalizes the fragment output and posts the completion event.
@@ -204,8 +223,8 @@ func (rt *runningTask) adjust(newDegree int) error {
 	for _, s := range rt.slaves {
 		s.reported = false
 		s.done = false
-		s.reportCh = make(chan struct{})
-		s.resumeCh = make(chan struct{})
+		s.reportCh = make(chan struct{}, 1)
+		s.resumeCh = make(chan struct{}, 1)
 		participants = append(participants, s)
 	}
 	oldDegree := rt.degree
@@ -317,6 +336,17 @@ type slaveCtx struct {
 	rt    *runningTask
 	state *slaveState
 
+	// stateVal is the embedded backing for state: one spawn's
+	// master-visible slave state rides in the pooled context instead of
+	// a per-spawn heap allocation. See slaveExit for when it may be
+	// reused.
+	stateVal slaveState
+
+	// goFn is the slave goroutine body bound to this context once at
+	// creation; pooled contexts hand the same func value to Clock.Go on
+	// every reuse, so spawning allocates no closure.
+	goFn func()
+
 	// cpuDebtPs is accumulated CPU picoseconds not yet slept. Debt is
 	// integral so that total slept time is a pure function of the total
 	// charge, however the charges were grouped into batches: flushes
@@ -346,11 +376,127 @@ type slaveCtx struct {
 	// probes are per-hash-join probe scratch buffers (slot indexes are
 	// assigned at pipeline compile time, like arenas).
 	probes []probeScratch
+
+	// Columnar-pipeline scratch. colPageBuf is the reusable decode target
+	// for generator-backed page reads; colView/colViewVecs back the
+	// sub-batch views the driver slices a fetched page into; tempView/
+	// tempVecs back temp-chunk views the same way.
+	colPageBuf  *storage.ColBatch
+	colView     storage.ColBatch
+	colViewVecs []storage.Vec
+	tempView    storage.ColBatch
+	tempVecs    []storage.Vec
+	// sels holds two selection-scratch buffers per filter slot (the
+	// ping-pong pair); colOuts holds one output batch per emitting slot.
+	sels    [][]int32
+	colOuts []*storage.ColBatch
+	// colHb is the columnar twin of hb; colHbScratch is its pooled
+	// backing storage (builderIn re-targets it per table, keeping the
+	// partition-buffer slice).
+	colHb        *ColBuilder
+	colHbScratch ColBuilder
+	// aggDense is this slave's dense aggregation window (with aggBase its
+	// anchor); aggSrc is per-function source-vector scratch.
+	aggDense *denseScratch
+	aggBase  int32
+	aggSrc   [][]int32
+	// inflightQ is the page driver's readahead queue scratch.
+	inflightQ []inflight
 }
 
-// probeScratch is one hash join's per-slave batch-probe buffer.
+// reset clears the context for pooling: references to the finished run
+// drop, capacity-bearing scratch survives. The aggregation slab must
+// not survive — mergeInto adopts slab-backed accumulator slices into
+// the fragment's shared state.
+func (sc *slaveCtx) reset() {
+	sc.rt, sc.state = nil, nil
+	sc.stateVal = slaveState{}
+	sc.cpuDebtPs = 0
+	sc.outBuf = sc.outBuf[:0]
+	sc.aggLocal = nil
+	sc.aggSlab = nil
+	for i := range sc.arenas {
+		sc.arenas[i] = sc.arenas[i][:0]
+	}
+	sc.pageBuf = sc.pageBuf[:0]
+	sc.hb = nil
+	for i := range sc.probes {
+		p := &sc.probes[i]
+		p.matches = p.matches[:0]
+		p.vals = p.vals[:0]
+		p.tuples = p.tuples[:0]
+	}
+	// colPageBuf is retained: fetchCols re-Inits it per relation schema.
+	sc.colView = storage.ColBatch{}
+	sc.tempView = storage.ColBatch{}
+	clear(sc.colViewVecs)
+	clear(sc.tempVecs)
+	sc.colHb = nil
+	sc.colHbScratch.ht = nil
+	sc.aggDense = nil
+	sc.aggBase = 0
+	sc.inflightQ = sc.inflightQ[:0]
+}
+
+// probeScratch is one hash join's per-slave batch-probe buffer. vals and
+// tuples are the materialization slabs of the columnar-build bridge.
 type probeScratch struct {
 	matches [][]storage.Tuple
+	vals    []storage.Value
+	tuples  []storage.Tuple
+}
+
+// selScratch returns pointers to the slot's two selection buffers.
+func (sc *slaveCtx) selScratch(slot int) (*[]int32, *[]int32) {
+	for len(sc.sels) < 2*(slot+1) {
+		sc.sels = append(sc.sels, nil)
+	}
+	return &sc.sels[2*slot], &sc.sels[2*slot+1]
+}
+
+// colOutBatch returns the slot's output batch, creating it from the
+// engine pool (with the dead columns pruned) on first use.
+func (sc *slaveCtx) colOutBatch(slot int, eng *Engine, s storage.Schema, prune []int) *storage.ColBatch {
+	for len(sc.colOuts) <= slot {
+		sc.colOuts = append(sc.colOuts, nil)
+	}
+	if sc.colOuts[slot] == nil {
+		sc.colOuts[slot] = eng.getColBatchPruned(s, eng.batchSize(), prune)
+	}
+	return sc.colOuts[slot]
+}
+
+// probeColTable resolves a batch of probe tuples against a columnar
+// build table, materializing the match rows into the probe scratch's
+// slabs. The per-key slices stay valid until the scratch's next use;
+// value and tuple slabs may grow mid-batch, in which case earlier slices
+// keep their old backing alive.
+func (sc *slaveCtx) probeColTable(cht *ColHashTable, lts []storage.Tuple, col int, ps *probeScratch) ([][]storage.Tuple, error) {
+	matches := ps.matches[:0]
+	ps.vals = ps.vals[:0]
+	ps.tuples = ps.tuples[:0]
+	for i := range lts {
+		if col < 0 || col >= len(lts[i].Vals) {
+			return matches, fmt.Errorf("exec: probe column %d out of range (tuple has %d)", col, len(lts[i].Vals))
+		}
+		store, start, cnt := cht.ProbeKey(lts[i].Vals[col].Int)
+		var ms []storage.Tuple
+		if cnt > 0 {
+			ncols := len(store.Vecs)
+			tstart := len(ps.tuples)
+			for m := int32(0); m < cnt; m++ {
+				row := int(start + m)
+				vstart := len(ps.vals)
+				for c := 0; c < ncols; c++ {
+					ps.vals = append(ps.vals, store.Value(c, row))
+				}
+				ps.tuples = append(ps.tuples, storage.Tuple{Vals: ps.vals[vstart:len(ps.vals):len(ps.vals)]})
+			}
+			ms = ps.tuples[tstart:len(ps.tuples):len(ps.tuples)]
+		}
+		matches = append(matches, ms)
+	}
+	return matches, nil
 }
 
 // probeScratch returns the scratch of a probe slot, growing the table
@@ -509,16 +655,39 @@ func (sc *slaveCtx) flushOut() {
 }
 
 // flushAll drains all buffers at slave exit, merging aggregation
-// partials into the fragment's shared state.
+// partials into the fragment's shared state and recycling the slave's
+// columnar scratch through the engine pools.
 func (sc *slaveCtx) flushAll() {
-	if sc.rt.fr.agg != nil && sc.aggLocal != nil {
-		sc.rt.fr.agg.mergeInto(sc.aggLocal)
-		sc.aggLocal = nil
+	eng := sc.rt.eng
+	if sc.rt.fr.agg != nil {
+		if sc.aggLocal != nil {
+			sc.rt.fr.agg.mergeInto(sc.aggLocal)
+			sc.aggLocal = nil
+		}
+		if sc.aggDense != nil {
+			if !sc.rt.fr.agg.mergeDense(sc.aggBase, sc.aggDense) {
+				eng.putDense(sc.aggDense)
+			}
+			sc.aggDense = nil
+		}
 	}
 	if sc.hb != nil {
 		sc.hb.Flush()
 		sc.hb = nil
 	}
+	if sc.colHb != nil {
+		sc.colHb.Flush()
+		sc.colHb = nil
+	}
 	sc.flushOut()
 	sc.flushCPU()
+	// colPageBuf stays with the context (it re-Inits per schema); the
+	// per-slot output batches are fragment-shaped and go back to their
+	// shape pools.
+	for i, b := range sc.colOuts {
+		if b != nil {
+			eng.putColBatch(b)
+			sc.colOuts[i] = nil
+		}
+	}
 }

@@ -23,11 +23,17 @@ import (
 // paper's shared-memory machine, temporaries are exchanged through the
 // buffer pool without crossing disks; accordingly reads of a Temp charge
 // CPU but no IO.
+//
+// Internally a Temp is columnar: appends land in one owned ColBatch, so
+// neither the columnar pipeline nor Finalize's sort ever touches a tuple
+// struct. Row-oriented readers (merge drivers, nestloop rescans, tests)
+// go through Tuples/Chunk, which materialize a row cache lazily — one
+// backing Value array for the whole temp — and invalidate it on append.
 type Temp struct {
 	Schema storage.Schema
 
-	mu     sync.Mutex
-	tuples []storage.Tuple
+	mu   sync.Mutex
+	cols *storage.ColBatch
 	// runs records the end offset of every appended batch, so Finalize
 	// can align its parallel sort chunks to append boundaries.
 	runs []int
@@ -36,6 +42,8 @@ type Temp struct {
 	// sortProcs bounds the goroutines Finalize may use; 0 or 1 sorts
 	// inline.
 	sortProcs int
+	// rows is the lazily materialized row view; nil when stale.
+	rows []storage.Tuple
 }
 
 // NewTemp creates an empty temp with the given schema.
@@ -52,14 +60,67 @@ func (t *Temp) SetSortProcs(p int) {
 	t.mu.Unlock()
 }
 
+// ensureColsLocked lazily allocates the columnar store.
+func (t *Temp) ensureColsLocked() *storage.ColBatch {
+	if t.cols == nil {
+		t.cols = storage.NewColBatch(t.Schema, chunkSize)
+	}
+	return t.cols
+}
+
 // Append adds a batch of tuples (slave backends flush local buffers).
+// Values are copied into the columnar store, so the caller may reuse the
+// batch and its Vals immediately.
 func (t *Temp) Append(batch []storage.Tuple) {
 	if len(batch) == 0 {
 		return
 	}
 	t.mu.Lock()
-	t.tuples = append(t.tuples, batch...)
-	t.runs = append(t.runs, len(t.tuples))
+	cb := t.ensureColsLocked()
+	for i := range batch {
+		cb.AppendTuple(batch[i])
+	}
+	t.runs = append(t.runs, cb.N)
+	t.rows = nil
+	t.mu.Unlock()
+}
+
+// AppendCols adds the live rows of a columnar batch under one lock
+// round-trip; the batch (and any storage it views) may be reused
+// immediately afterwards.
+func (t *Temp) AppendCols(b *storage.ColBatch) {
+	live := b.Live()
+	if live == 0 {
+		return
+	}
+	t.mu.Lock()
+	cb := t.ensureColsLocked()
+	if b.Sel == nil {
+		for row := 0; row < b.N; row++ {
+			cb.AppendRow(b, row)
+		}
+	} else {
+		for _, row := range b.Sel {
+			cb.AppendRow(b, int(row))
+		}
+	}
+	t.runs = append(t.runs, cb.N)
+	t.rows = nil
+	t.mu.Unlock()
+}
+
+// appendDirect runs fn with the temp's columnar store locked; fn
+// appends values to the vectors itself and returns how many rows it
+// added. Aggregation emit uses it to write final rows without ever
+// materializing a tuple.
+func (t *Temp) appendDirect(fn func(cb *storage.ColBatch) int) {
+	t.mu.Lock()
+	cb := t.ensureColsLocked()
+	if n := fn(cb); n > 0 {
+		cb.N += n
+		t.runs = append(t.runs, cb.N)
+		t.rows = nil
+	}
 	t.mu.Unlock()
 }
 
@@ -67,7 +128,10 @@ func (t *Temp) Append(batch []storage.Tuple) {
 func (t *Temp) Len() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.tuples)
+	if t.cols == nil {
+		return 0
+	}
+	return t.cols.N
 }
 
 // SortedBy returns the order column, or -1 when unordered.
@@ -77,12 +141,33 @@ func (t *Temp) SortedBy() int {
 	return t.sortedBy
 }
 
-// Tuples returns the backing slice. Callers must treat it as read-only;
-// it is only exposed after the producing fragment has completed.
+// materializeLocked builds (or returns) the row view of the columnar
+// store. All rows share one backing Value array.
+func (t *Temp) materializeLocked() []storage.Tuple {
+	if t.rows != nil || t.cols == nil {
+		return t.rows
+	}
+	n := t.cols.N
+	ncols := len(t.cols.Vecs)
+	vals := make([]storage.Value, n*ncols)
+	rows := make([]storage.Tuple, n)
+	for i := 0; i < n; i++ {
+		vs := vals[i*ncols : (i+1)*ncols : (i+1)*ncols]
+		for c := 0; c < ncols; c++ {
+			vs[c] = t.cols.Value(c, i)
+		}
+		rows[i] = storage.Tuple{Vals: vs}
+	}
+	t.rows = rows
+	return rows
+}
+
+// Tuples returns the temp as rows. Callers must treat the result as
+// read-only; it is only exposed after the producing fragment completed.
 func (t *Temp) Tuples() []storage.Tuple {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.tuples
+	return t.materializeLocked()
 }
 
 // Finalize sorts the temp on col (-1 keeps arrival order) and seals it.
@@ -105,9 +190,16 @@ func (t *Temp) Finalize(col int) int64 {
 		t.sortedBy = -1
 		return 0
 	}
-	t.tuples = parallelStableSort(t.tuples, col, runs, t.sortProcs)
+	if t.cols != nil {
+		sortColBatch(t.cols, col, runs, t.sortProcs)
+		t.rows = nil
+	}
 	t.sortedBy = col
-	return modeledSortCmps(len(t.tuples))
+	n := 0
+	if t.cols != nil {
+		n = t.cols.N
+	}
+	return modeledSortCmps(n)
 }
 
 // chunkSize is the virtual page size of a Temp for page partitioning:
@@ -121,19 +213,46 @@ func (t *Temp) NumChunks() int64 {
 	return (n + chunkSize - 1) / chunkSize
 }
 
-// Chunk returns the tuples of chunk c.
+// chunkRange clamps chunk c to [lo, hi) row offsets; hi == lo when out
+// of range. Caller holds t.mu.
+func (t *Temp) chunkRangeLocked(c int64) (int, int) {
+	n := 0
+	if t.cols != nil {
+		n = t.cols.N
+	}
+	lo := int(c * chunkSize)
+	if lo >= n {
+		return 0, 0
+	}
+	hi := lo + chunkSize
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// Chunk returns the tuples of chunk c (row view).
 func (t *Temp) Chunk(c int64) []storage.Tuple {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	lo := c * chunkSize
-	hi := lo + chunkSize
-	if lo >= int64(len(t.tuples)) {
+	lo, hi := t.chunkRangeLocked(c)
+	if hi == lo {
 		return nil
 	}
-	if hi > int64(len(t.tuples)) {
-		hi = int64(len(t.tuples))
+	return t.materializeLocked()[lo:hi]
+}
+
+// ChunkCols returns a read-only columnar view of chunk c, using vecs as
+// scratch for the view headers. ok is false past the end.
+func (t *Temp) ChunkCols(c int64, vecs []storage.Vec) (storage.ColBatch, []storage.Vec, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	lo, hi := t.chunkRangeLocked(c)
+	if hi == lo {
+		return storage.ColBatch{}, vecs, false
 	}
-	return t.tuples[lo:hi]
+	view, vecs := t.cols.Slice(lo, hi, vecs)
+	return view, vecs, true
 }
 
 // lowerBound returns the first index whose col value is >= key. The temp
@@ -141,8 +260,12 @@ func (t *Temp) Chunk(c int64) []storage.Tuple {
 func (t *Temp) lowerBound(col int, key int32) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return sort.Search(len(t.tuples), func(i int) bool {
-		return t.tuples[i].Vals[col].Int >= key
+	if t.cols == nil {
+		return 0
+	}
+	ints := t.cols.Vecs[col].Ints
+	return sort.Search(len(ints), func(i int) bool {
+		return ints[i] >= key
 	})
 }
 
@@ -150,8 +273,12 @@ func (t *Temp) lowerBound(col int, key int32) int {
 func (t *Temp) upperBound(col int, key int32) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return sort.Search(len(t.tuples), func(i int) bool {
-		return t.tuples[i].Vals[col].Int > key
+	if t.cols == nil {
+		return 0
+	}
+	ints := t.cols.Vecs[col].Ints
+	return sort.Search(len(ints), func(i int) bool {
+		return ints[i] > key
 	})
 }
 
@@ -169,8 +296,9 @@ func (t *Temp) CountRange(col int, lo, hi int32) int {
 func (t *Temp) Bounds(col int) (lo, hi int32, ok bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if len(t.tuples) == 0 {
+	if t.cols == nil || t.cols.N == 0 {
 		return 0, 0, false
 	}
-	return t.tuples[0].Vals[col].Int, t.tuples[len(t.tuples)-1].Vals[col].Int, true
+	ints := t.cols.Vecs[col].Ints
+	return ints[0], ints[len(ints)-1], true
 }

@@ -1,0 +1,389 @@
+package storage
+
+import "fmt"
+
+// Columnar batch layout. A ColBatch holds one column vector per schema
+// column: int4 columns are flat []int32, text columns are a shared byte
+// buffer plus per-row (start, end) spans. Spans are allowed to ALIAS:
+// appending a payload byte-identical to the previous row reuses its span
+// instead of copying, so runs of repeated values (padded synthetic
+// tuples, a probe fanning one build row over many matches) cost two
+// int32s per row rather than the payload bytes. A selection vector marks
+// the live rows of a batch without moving any data, so a filter touches
+// one []int32 instead of rewriting the batch.
+//
+// Ownership convention: a batch either OWNS its vectors (appends
+// allowed) or is a VIEW over a row range of another batch (created by
+// Slice; read-only). Views share the underlying Buf, which is why text
+// spans are absolute rather than Buf-relative.
+//
+// Pruned columns are represented by a placeholder vector that keeps its
+// Typ but has nil storage: logical column indexes stay stable through a
+// projection, so compiled operators never remap indices. Reading a pruned
+// column is a bug and panics.
+
+// Vec is one column vector of a ColBatch.
+type Vec struct {
+	Typ Type
+	// Ints holds the values of an Int4 column, one per row.
+	Ints []int32
+	// Off, End and Buf hold a Text column: row i spans Buf[Off[i]:End[i]].
+	// len(Off) == len(End) == rows. Spans are absolute into Buf so
+	// row-range views can share the buffer, and may alias each other
+	// (identical consecutive payloads share one span).
+	Off []int32
+	End []int32
+	Buf []byte
+}
+
+// Pruned reports whether the vector is a placeholder for a projected-out
+// column.
+func (v *Vec) Pruned() bool {
+	return v.Ints == nil && v.Off == nil
+}
+
+// Bytes returns the text payload of the given row without copying.
+func (v *Vec) Bytes(row int) []byte {
+	return v.Buf[v.Off[row]:v.End[row]]
+}
+
+// appendText appends one text payload. When the payload is byte-identical
+// to the previously appended row, the new row aliases the previous span
+// instead of copying — the string comparison compiles to an allocation-
+// free memequal and exits on the first differing byte, so distinct
+// payloads pay one comparison step, not a scan.
+func (v *Vec) appendText(b []byte) {
+	if n := len(v.Off); n > 0 {
+		s, e := v.Off[n-1], v.End[n-1]
+		if int(e-s) == len(b) && string(v.Buf[s:e]) == string(b) {
+			v.Off = append(v.Off, s)
+			v.End = append(v.End, e)
+			return
+		}
+	}
+	s := int32(len(v.Buf))
+	v.Buf = append(v.Buf, b...)
+	v.Off = append(v.Off, s)
+	v.End = append(v.End, int32(len(v.Buf)))
+}
+
+// appendTextStr is appendText for a string payload.
+func (v *Vec) appendTextStr(b string) {
+	if n := len(v.Off); n > 0 {
+		s, e := v.Off[n-1], v.End[n-1]
+		if int(e-s) == len(b) && string(v.Buf[s:e]) == b {
+			v.Off = append(v.Off, s)
+			v.End = append(v.End, e)
+			return
+		}
+	}
+	s := int32(len(v.Buf))
+	v.Buf = append(v.Buf, b...)
+	v.Off = append(v.Off, s)
+	v.End = append(v.End, int32(len(v.Buf)))
+}
+
+// Str returns the text payload of the given row as a string (copies).
+func (v *Vec) Str(row int) string {
+	return string(v.Bytes(row))
+}
+
+// ColBatch is a batch of N rows in columnar layout with an optional
+// selection vector.
+type ColBatch struct {
+	// N is the number of physical rows in the vectors.
+	N int
+	// Vecs has one entry per schema column.
+	Vecs []Vec
+	// Sel lists the live row indexes in ascending order; nil means all N
+	// rows are live. Sel never aliases batch storage and is not carried
+	// into Slice views.
+	Sel []int32
+}
+
+// NewColBatch returns an owned batch shaped for the schema with row
+// capacity capRows.
+func NewColBatch(s Schema, capRows int) *ColBatch {
+	b := &ColBatch{}
+	b.Init(s, capRows)
+	return b
+}
+
+// Init (re)shapes the batch for the schema, reusing vector storage when
+// the capacity is already there. The batch comes out empty and owned.
+func (b *ColBatch) Init(s Schema, capRows int) {
+	if cap(b.Vecs) < len(s.Cols) {
+		b.Vecs = make([]Vec, len(s.Cols))
+	}
+	b.Vecs = b.Vecs[:len(s.Cols)]
+	for i := range b.Vecs {
+		v := &b.Vecs[i]
+		typ := s.Cols[i].Typ
+		switch typ {
+		case Int4:
+			if v.Typ != Int4 || v.Ints == nil {
+				v.Ints = make([]int32, 0, capRows)
+			} else {
+				v.Ints = v.Ints[:0]
+			}
+			v.Off, v.End, v.Buf = nil, nil, nil
+		case Text:
+			if v.Typ != Text || v.Off == nil {
+				v.Off = make([]int32, 0, capRows)
+				v.End = make([]int32, 0, capRows)
+				v.Buf = make([]byte, 0, capRows*8)
+			} else {
+				v.Off = v.Off[:0]
+				v.End = v.End[:0]
+				v.Buf = v.Buf[:0]
+			}
+			v.Ints = nil
+		}
+		v.Typ = typ
+	}
+	b.N = 0
+	b.Sel = nil
+}
+
+// InitPruned is Init for a projection output: the columns listed in
+// prune stay placeholder vectors with no storage, so recycling a
+// pruned batch never allocates (and then discards) their buffers.
+// prune must be ascending.
+func (b *ColBatch) InitPruned(s Schema, capRows int, prune []int) {
+	if cap(b.Vecs) < len(s.Cols) {
+		b.Vecs = make([]Vec, len(s.Cols))
+	}
+	b.Vecs = b.Vecs[:len(s.Cols)]
+	pi := 0
+	for i := range b.Vecs {
+		v := &b.Vecs[i]
+		typ := s.Cols[i].Typ
+		if pi < len(prune) && prune[pi] == i {
+			pi++
+			v.Typ = typ
+			v.Ints, v.Off, v.End, v.Buf = nil, nil, nil, nil
+			continue
+		}
+		switch typ {
+		case Int4:
+			if v.Typ != Int4 || v.Ints == nil {
+				v.Ints = make([]int32, 0, capRows)
+			} else {
+				v.Ints = v.Ints[:0]
+			}
+			v.Off, v.End, v.Buf = nil, nil, nil
+		case Text:
+			if v.Typ != Text || v.Off == nil {
+				v.Off = make([]int32, 0, capRows)
+				v.End = make([]int32, 0, capRows)
+				v.Buf = make([]byte, 0, capRows*8)
+			} else {
+				v.Off = v.Off[:0]
+				v.End = v.End[:0]
+				v.Buf = v.Buf[:0]
+			}
+			v.Ints = nil
+		}
+		v.Typ = typ
+	}
+	b.N = 0
+	b.Sel = nil
+}
+
+// Reset empties an owned batch in place, keeping vector capacity and the
+// column shape.
+func (b *ColBatch) Reset() {
+	for i := range b.Vecs {
+		v := &b.Vecs[i]
+		if v.Pruned() {
+			continue
+		}
+		switch v.Typ {
+		case Int4:
+			v.Ints = v.Ints[:0]
+		case Text:
+			v.Off = v.Off[:0]
+			v.End = v.End[:0]
+			v.Buf = v.Buf[:0]
+		}
+	}
+	b.N = 0
+	b.Sel = nil
+}
+
+// Prune replaces column col with a placeholder vector (Typ kept, storage
+// dropped). Only meaningful on owned, empty batches used as projection
+// outputs.
+func (b *ColBatch) Prune(col int) {
+	v := &b.Vecs[col]
+	v.Ints, v.Off, v.End, v.Buf = nil, nil, nil, nil
+}
+
+// Live returns the number of live rows (selection-vector aware).
+func (b *ColBatch) Live() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.N
+}
+
+// RowAt maps a live-row ordinal to a physical row index.
+func (b *ColBatch) RowAt(i int) int {
+	if b.Sel != nil {
+		return int(b.Sel[i])
+	}
+	return i
+}
+
+// AppendRow appends physical row `row` of src, copying every un-pruned
+// column src has; columns pruned in src stay pruned in b if b is empty,
+// and must already be pruned in b otherwise.
+func (b *ColBatch) AppendRow(src *ColBatch, row int) {
+	for c := range src.Vecs {
+		b.appendVal(c, &src.Vecs[c], row)
+	}
+	b.N++
+}
+
+// AppendJoined appends the concatenation of l's row lrow and r's row
+// rrow: b's columns 0..len(l.Vecs)-1 come from l, the rest from r.
+func (b *ColBatch) AppendJoined(l *ColBatch, lrow int, r *ColBatch, rrow int) {
+	nl := len(l.Vecs)
+	for c := range l.Vecs {
+		b.appendVal(c, &l.Vecs[c], lrow)
+	}
+	for c := range r.Vecs {
+		b.appendVal(nl+c, &r.Vecs[c], rrow)
+	}
+	b.N++
+}
+
+// AppendJoinedTuple appends the concatenation of l's row lrow and the
+// row-form tuple t: the columnar probe's bridge over a row-layout build
+// table. b's columns past len(l.Vecs) must match t's shape.
+func (b *ColBatch) AppendJoinedTuple(l *ColBatch, lrow int, t Tuple) {
+	nl := len(l.Vecs)
+	for c := range l.Vecs {
+		b.appendVal(c, &l.Vecs[c], lrow)
+	}
+	for c := nl; c < len(b.Vecs); c++ {
+		dst := &b.Vecs[c]
+		if dst.Pruned() {
+			continue
+		}
+		v := t.Vals[c-nl]
+		switch dst.Typ {
+		case Int4:
+			dst.Ints = append(dst.Ints, v.Int)
+		case Text:
+			dst.appendTextStr(v.Str)
+		}
+	}
+	b.N++
+}
+
+// appendVal copies one value of src row `row` into b's column c. A
+// pruned source column prunes (or matches) the destination column.
+func (b *ColBatch) appendVal(c int, src *Vec, row int) {
+	dst := &b.Vecs[c]
+	if src.Pruned() || dst.Pruned() {
+		if !dst.Pruned() {
+			if b.N != 0 {
+				panic("storage: appending pruned column into populated vector")
+			}
+			b.Prune(c)
+		}
+		return
+	}
+	switch src.Typ {
+	case Int4:
+		dst.Ints = append(dst.Ints, src.Ints[row])
+	case Text:
+		dst.appendText(src.Bytes(row))
+	}
+}
+
+// AppendTuple appends a row-form tuple. The tuple must match the batch's
+// column shape.
+func (b *ColBatch) AppendTuple(t Tuple) {
+	for c := range b.Vecs {
+		dst := &b.Vecs[c]
+		if dst.Pruned() {
+			continue
+		}
+		v := t.Vals[c]
+		switch dst.Typ {
+		case Int4:
+			dst.Ints = append(dst.Ints, v.Int)
+		case Text:
+			dst.appendTextStr(v.Str)
+		}
+	}
+	b.N++
+}
+
+// Value materializes one value (physical row index). Text values copy.
+func (b *ColBatch) Value(col, row int) Value {
+	v := &b.Vecs[col]
+	if v.Pruned() {
+		panic(fmt.Sprintf("storage: reading pruned column %d", col))
+	}
+	if v.Typ == Int4 {
+		return IntVal(v.Ints[row])
+	}
+	return TextVal(v.Str(row))
+}
+
+// TupleTo materializes physical row `row` into vals (which must have
+// len(b.Vecs) capacity) and returns it as a Tuple.
+func (b *ColBatch) TupleTo(row int, vals []Value) Tuple {
+	vals = vals[:0]
+	for c := range b.Vecs {
+		vals = append(vals, b.Value(c, row))
+	}
+	return Tuple{Vals: vals}
+}
+
+// Slice returns a read-only view of physical rows [lo, hi). vecs is
+// caller scratch for the view's vector headers (grown as needed). The
+// receiver must not have a selection vector.
+func (b *ColBatch) Slice(lo, hi int, vecs []Vec) (ColBatch, []Vec) {
+	if b.Sel != nil {
+		panic("storage: Slice over a batch with a selection vector")
+	}
+	if cap(vecs) < len(b.Vecs) {
+		vecs = make([]Vec, len(b.Vecs))
+	}
+	vecs = vecs[:len(b.Vecs)]
+	for c := range b.Vecs {
+		src := &b.Vecs[c]
+		v := Vec{Typ: src.Typ}
+		if !src.Pruned() {
+			switch src.Typ {
+			case Int4:
+				v.Ints = src.Ints[lo:hi]
+			case Text:
+				v.Off = src.Off[lo:hi]
+				v.End = src.End[lo:hi]
+				v.Buf = src.Buf
+			}
+		}
+		vecs[c] = v
+	}
+	return ColBatch{N: hi - lo, Vecs: vecs}, vecs
+}
+
+// AppendBatchTuples materializes every live row into out (row form,
+// freshly allocated Vals) and returns the extended slice. Compatibility
+// bridge for row-oriented consumers; not a hot path.
+func (b *ColBatch) AppendBatchTuples(out []Tuple) []Tuple {
+	for i := 0; i < b.Live(); i++ {
+		row := b.RowAt(i)
+		vals := make([]Value, len(b.Vecs))
+		for c := range b.Vecs {
+			vals[c] = b.Value(c, row)
+		}
+		out = append(out, Tuple{Vals: vals})
+	}
+	return out
+}

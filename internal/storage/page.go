@@ -152,6 +152,54 @@ func decodeTuple(s Schema, data []byte) (Tuple, error) {
 	return Tuple{Vals: vals}, nil
 }
 
+// decodePageCols appends every tuple of a physical page image to dst's
+// column vectors. Unlike decodeTuple it allocates nothing per tuple:
+// int4 values land directly in the []int32 vector and text bytes are
+// copied into the shared column buffer.
+func decodePageCols(s Schema, data []byte, dst *ColBatch) error {
+	if len(data) != PageSize {
+		return fmt.Errorf("storage: page image is %d bytes, want %d", len(data), PageSize)
+	}
+	n := int(binary.LittleEndian.Uint16(data[0:2]))
+	for i := 0; i < n; i++ {
+		slot := pageHeaderSize + i*slotSize
+		off := int(binary.LittleEndian.Uint16(data[slot:]))
+		ln := int(binary.LittleEndian.Uint16(data[slot+2:]))
+		if off+ln > PageSize {
+			return fmt.Errorf("storage: slot %d points outside page", i)
+		}
+		tup := data[off : off+ln]
+		pos := 0
+		for c := range s.Cols {
+			v := &dst.Vecs[c]
+			switch s.Cols[c].Typ {
+			case Int4:
+				if pos+4 > len(tup) {
+					return fmt.Errorf("storage: slot %d: truncated int4 in column %q", i, s.Cols[c].Name)
+				}
+				v.Ints = append(v.Ints, int32(binary.LittleEndian.Uint32(tup[pos:])))
+				pos += 4
+			case Text:
+				if pos+4 > len(tup) {
+					return fmt.Errorf("storage: slot %d: truncated text length in column %q", i, s.Cols[c].Name)
+				}
+				tn := int(binary.LittleEndian.Uint32(tup[pos:]))
+				pos += 4
+				if pos+tn > len(tup) {
+					return fmt.Errorf("storage: slot %d: truncated text body in column %q", i, s.Cols[c].Name)
+				}
+				v.appendText(tup[pos : pos+tn])
+				pos += tn
+			}
+		}
+		if pos != len(tup) {
+			return fmt.Errorf("storage: slot %d: %d trailing bytes after tuple", i, len(tup)-pos)
+		}
+		dst.N++
+	}
+	return nil
+}
+
 // decodePage extracts all tuples from a physical page image.
 func decodePage(s Schema, data []byte) ([]Tuple, error) {
 	if len(data) != PageSize {

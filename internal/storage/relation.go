@@ -53,6 +53,10 @@ type Relation struct {
 	// Finalize. Pages of a sealed relation are immutable, so readers
 	// share these slices; they must never be written through.
 	decoded [][]Tuple
+	// decodedCols caches the same pages in columnar layout (one owned
+	// ColBatch per page, no selection vector), also built at Finalize.
+	// Shared and read-only like decoded.
+	decodedCols []*ColBatch
 	// synthetic layout
 	rowsPerPage int
 	nrows       int64
@@ -129,6 +133,49 @@ func (r *Relation) PageTuplesInto(p int64, buf []Tuple) ([]Tuple, error) {
 	return buf, nil
 }
 
+// PageCols returns page p in columnar form. Physical pages come from
+// the relation's shared columnar decode cache (read-only); synthetic
+// pages require caller scratch and must go through PageColsInto.
+func (r *Relation) PageCols(p int64) (*ColBatch, error) {
+	if p < 0 || p >= r.NPages() {
+		return nil, fmt.Errorf("storage: page %d out of range [0,%d) in %q", p, r.NPages(), r.Name)
+	}
+	if r.gen != nil {
+		return nil, fmt.Errorf("storage: PageCols on synthetic relation %q (use PageColsInto)", r.Name)
+	}
+	if r.decodedCols != nil {
+		return r.decodedCols[p], nil
+	}
+	dst := NewColBatch(r.Schema, TuplesPerPage(int(r.stats.AvgTupleSize)))
+	if err := decodePageCols(r.Schema, r.phys[p], dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// PageColsInto materializes page p into dst (an owned, empty batch
+// shaped for the relation's schema): generator-backed pages are
+// generated straight into the vectors, physical pages are returned from
+// the shared cache without touching dst. Either way the result is
+// read-only; for synthetic relations it is valid until dst's next reuse.
+func (r *Relation) PageColsInto(p int64, dst *ColBatch) (*ColBatch, error) {
+	if r.gen == nil {
+		return r.PageCols(p)
+	}
+	if p < 0 || p >= r.NPages() {
+		return nil, fmt.Errorf("storage: page %d out of range [0,%d) in %q", p, r.NPages(), r.Name)
+	}
+	lo := p * int64(r.rowsPerPage)
+	hi := lo + int64(r.rowsPerPage)
+	if hi > r.nrows {
+		hi = r.nrows
+	}
+	for i := lo; i < hi; i++ {
+		dst.AppendTuple(r.gen(i))
+	}
+	return dst, nil
+}
+
 // TupleAt returns the tuple addressed by a TID.
 func (r *Relation) TupleAt(tid TID) (Tuple, error) {
 	if r.gen != nil {
@@ -197,6 +244,8 @@ func (b *Builder) Finalize() *Relation {
 	b.flush()
 	b.rel.stats = b.agg.finish(int64(len(b.rel.phys)))
 	dec := make([][]Tuple, len(b.rel.phys))
+	cols := make([]*ColBatch, len(b.rel.phys))
+	perPage := TuplesPerPage(int(b.rel.stats.AvgTupleSize))
 	for p := range b.rel.phys {
 		ts, err := decodePage(b.rel.Schema, b.rel.phys[p])
 		if err != nil {
@@ -206,8 +255,14 @@ func (b *Builder) Finalize() *Relation {
 			return b.rel
 		}
 		dec[p] = ts
+		cb := NewColBatch(b.rel.Schema, perPage)
+		if err := decodePageCols(b.rel.Schema, b.rel.phys[p], cb); err != nil {
+			return b.rel
+		}
+		cols[p] = cb
 	}
 	b.rel.decoded = dec
+	b.rel.decodedCols = cols
 	return b.rel
 }
 

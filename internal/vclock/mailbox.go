@@ -5,29 +5,32 @@ import "sync"
 // Mailbox is a many-producer, single-consumer event queue whose blocking
 // is accounted to the clock. The engine's master backend waits on one
 // mailbox for slave-completion and arrival events; slave backends post
-// without blocking. Signal channels are single-use internally, so the
-// mailbox can be waited on any number of times.
+// without blocking. The consumer's wake channel is a single one-slot
+// buffered channel reused across waits, so steady-state posting and
+// waiting allocate nothing beyond queue growth.
 type Mailbox struct {
-	clock Clock
-	mu    sync.Mutex
-	queue []interface{}
-	wake  chan struct{} // non-nil while the consumer is blocked
+	clock   Clock
+	mu      sync.Mutex
+	queue   []interface{}
+	head    int
+	waiting bool
+	wake    chan struct{}
 }
 
 // NewMailbox creates a mailbox on the given clock.
 func NewMailbox(clock Clock) *Mailbox {
-	return &Mailbox{clock: clock}
+	return &Mailbox{clock: clock, wake: make(chan struct{}, 1)}
 }
 
 // Post appends an event and wakes the consumer if it is waiting.
 func (m *Mailbox) Post(ev interface{}) {
 	m.mu.Lock()
 	m.queue = append(m.queue, ev)
-	ch := m.wake
-	m.wake = nil
+	wake := m.waiting
+	m.waiting = false
 	m.mu.Unlock()
-	if ch != nil {
-		m.clock.Signal(ch)
+	if wake {
+		m.clock.Signal(m.wake)
 	}
 }
 
@@ -36,20 +39,24 @@ func (m *Mailbox) Post(ev interface{}) {
 func (m *Mailbox) Wait() interface{} {
 	for {
 		m.mu.Lock()
-		if len(m.queue) > 0 {
-			ev := m.queue[0]
-			m.queue = m.queue[1:]
+		if m.head < len(m.queue) {
+			ev := m.queue[m.head]
+			m.queue[m.head] = nil
+			m.head++
+			if m.head == len(m.queue) {
+				m.queue = m.queue[:0]
+				m.head = 0
+			}
 			m.mu.Unlock()
 			return ev
 		}
-		if m.wake != nil {
+		if m.waiting {
 			m.mu.Unlock()
 			panic("vclock: second consumer on mailbox")
 		}
-		ch := make(chan struct{})
-		m.wake = ch
+		m.waiting = true
 		m.mu.Unlock()
-		m.clock.WaitSignal(ch)
+		m.clock.WaitSignal(m.wake)
 	}
 }
 
@@ -58,11 +65,16 @@ func (m *Mailbox) Wait() interface{} {
 func (m *Mailbox) TryWait() (interface{}, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if len(m.queue) == 0 {
+	if m.head >= len(m.queue) {
 		return nil, false
 	}
-	ev := m.queue[0]
-	m.queue = m.queue[1:]
+	ev := m.queue[m.head]
+	m.queue[m.head] = nil
+	m.head++
+	if m.head == len(m.queue) {
+		m.queue = m.queue[:0]
+		m.head = 0
+	}
 	return ev, true
 }
 
@@ -70,5 +82,5 @@ func (m *Mailbox) TryWait() (interface{}, bool) {
 func (m *Mailbox) Len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.queue)
+	return len(m.queue) - m.head
 }

@@ -85,7 +85,7 @@ func TestMailboxSecondConsumerPanics(t *testing.T) {
 	defer func() { recover() }()
 	v.Run(func() {
 		m := NewMailbox(v)
-		panicked := make(chan struct{})
+		panicked := make(chan struct{}, 1)
 		v.Go(func() {
 			defer func() {
 				if recover() != nil {
@@ -114,10 +114,10 @@ func TestYieldOrderedDeterministicOrder(t *testing.T) {
 		v := NewVirtual()
 		var order []int64
 		v.Run(func() {
-			done := make(chan struct{})
+			done := make(chan struct{}, 1)
 			release := make([]chan struct{}, 6)
 			for i := range release {
-				release[i] = make(chan struct{})
+				release[i] = make(chan struct{}, 1)
 			}
 			remaining := len(release)
 			for i := range release {

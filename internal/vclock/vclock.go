@@ -17,10 +17,16 @@
 // exactly one sleeper per advance, at most one registered goroutine is
 // runnable at any moment, which makes runs reproducible: ties between
 // timers are broken by registration order.
+//
+// The hot path is allocation-free in steady state: the timer heap is a
+// hand-written binary heap over a reusable slice (no container/heap
+// interface boxing), and wake channels are one-slot buffered channels
+// recycled through a sync.Pool — the clock wakes a sleeper by sending a
+// token, which on a one-slot buffer never blocks even if the sleeper has
+// not yet reached its receive.
 package vclock
 
 import (
-	"container/heap"
 	"fmt"
 	"sync"
 	"time"
@@ -49,10 +55,12 @@ type Clock interface {
 	// shared state; on a real clock it is a no-op.
 	YieldOrdered(key int64)
 	// WaitSignal blocks the caller until Signal is called with the same
-	// channel. Each channel carries at most one waiter and one signal.
+	// channel. Signal channels must be one-slot buffered
+	// (make(chan struct{}, 1)); each carries at most one waiter and one
+	// outstanding signal, and is reusable once the signal is consumed.
 	WaitSignal(ch chan struct{})
-	// Signal wakes the goroutine blocked in WaitSignal(ch), or records the
-	// signal if no goroutine is waiting yet.
+	// Signal wakes the goroutine blocked in WaitSignal(ch), or latches the
+	// signal in the channel's buffer if no goroutine is waiting yet.
 	Signal(ch chan struct{})
 }
 
@@ -64,27 +72,23 @@ type timer struct {
 	ch   chan struct{}
 }
 
-type timerHeap []timer
+// timerLess is the total order on timers: earliest wake, then smallest
+// key, then FIFO. All three fields together are unique, so the pop
+// sequence is fully determined whatever the heap's internal layout.
+func timerLess(a, b timer) bool {
+	if a.wake != b.wake {
+		return a.wake < b.wake
+	}
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.seq < b.seq
+}
 
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].wake != h[j].wake {
-		return h[i].wake < h[j].wake
-	}
-	if h[i].key != h[j].key {
-		return h[i].key < h[j].key
-	}
-	return h[i].seq < h[j].seq
-}
-func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(timer)) }
-func (h *timerHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
+// wakePool recycles the one-slot wake channels used by timers. A channel
+// returns to the pool only after its receiver consumed the token, so a
+// pooled channel is always empty.
+var wakePool = sync.Pool{New: func() interface{} { return make(chan struct{}, 1) }}
 
 // Virtual is a deterministic simulated clock. The zero value is not usable;
 // construct with NewVirtual and drive the simulation through Run.
@@ -93,19 +97,15 @@ type Virtual struct {
 	now        time.Duration
 	registered int
 	blocked    int
-	timers     timerHeap
+	timers     []timer // binary min-heap ordered by timerLess
 	seq        uint64
 	waiters    map[chan struct{}]struct{}
-	signaled   map[chan struct{}]struct{}
 }
 
 // NewVirtual returns a virtual clock positioned at time zero with no
 // registered goroutines.
 func NewVirtual() *Virtual {
-	return &Virtual{
-		waiters:  make(map[chan struct{}]struct{}),
-		signaled: make(map[chan struct{}]struct{}),
-	}
+	return &Virtual{waiters: make(map[chan struct{}]struct{})}
 }
 
 // Now reports the current virtual time.
@@ -126,15 +126,38 @@ func (v *Virtual) Run(fn func()) {
 	fn()
 }
 
+// goRunner carries one Go spawn into its goroutine without allocating a
+// fresh wrapper closure per spawn: the run closure is built once when the
+// runner is created and re-targeted through the v/fn fields on reuse.
+type goRunner struct {
+	v   *Virtual
+	fn  func()
+	run func()
+}
+
+var goRunnerPool sync.Pool
+
 // Go starts fn on a new registered goroutine.
 func (v *Virtual) Go(fn func()) {
 	v.mu.Lock()
 	v.registered++
 	v.mu.Unlock()
-	go func() {
-		defer v.unregister()
-		fn()
-	}()
+	r, _ := goRunnerPool.Get().(*goRunner)
+	if r == nil {
+		r = &goRunner{}
+		r.run = func() {
+			v, fn := r.v, r.fn
+			r.v, r.fn = nil, nil
+			// The runner recycles before fn runs: both targets were
+			// copied out, so a concurrent reuse cannot disturb this
+			// goroutine.
+			goRunnerPool.Put(r)
+			defer v.unregister()
+			fn()
+		}
+	}
+	r.v, r.fn = v, fn
+	go r.run()
 }
 
 func (v *Virtual) unregister() {
@@ -148,6 +171,28 @@ func (v *Virtual) unregister() {
 	v.mu.Unlock()
 }
 
+// park blocks the caller on a pooled timer at the given wake instant.
+// Called without the lock held; wake must already be clamped to >= now by
+// the caller under the lock, so park takes the lock itself.
+func (v *Virtual) park(delta time.Duration, absolute time.Duration, key int64) {
+	ch := wakePool.Get().(chan struct{})
+	v.mu.Lock()
+	wake := absolute
+	if delta >= 0 {
+		wake = v.now + delta
+	}
+	if wake < v.now {
+		wake = v.now
+	}
+	v.seq++
+	v.pushTimer(timer{wake: wake, key: key, seq: v.seq, ch: ch})
+	v.blocked++
+	v.advanceLocked()
+	v.mu.Unlock()
+	<-ch
+	wakePool.Put(ch)
+}
+
 // Sleep suspends the caller for d of virtual time. A non-positive d still
 // enqueues a timer at the current instant, which yields the processor to
 // any other goroutine with an earlier or equal pending timer.
@@ -155,56 +200,32 @@ func (v *Virtual) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	ch := make(chan struct{})
-	v.mu.Lock()
-	v.seq++
-	heap.Push(&v.timers, timer{wake: v.now + d, seq: v.seq, ch: ch})
-	v.blocked++
-	v.advanceLocked()
-	v.mu.Unlock()
-	<-ch
+	v.park(d, 0, 0)
 }
 
 // YieldOrdered parks the caller at the current instant with a stable
 // tie-break key, so a batch of simultaneously released goroutines
 // resumes in key order regardless of OS scheduling.
 func (v *Virtual) YieldOrdered(key int64) {
-	ch := make(chan struct{})
-	v.mu.Lock()
-	v.seq++
-	heap.Push(&v.timers, timer{wake: v.now, key: key, seq: v.seq, ch: ch})
-	v.blocked++
-	v.advanceLocked()
-	v.mu.Unlock()
-	<-ch
+	v.park(0, 0, key)
 }
 
 // SleepUntil suspends the caller until the given virtual instant. If t is
 // in the past it behaves like Sleep(0).
 func (v *Virtual) SleepUntil(t time.Duration) {
-	ch := make(chan struct{})
-	v.mu.Lock()
-	wake := t
-	if wake < v.now {
-		wake = v.now
-	}
-	v.seq++
-	heap.Push(&v.timers, timer{wake: wake, seq: v.seq, ch: ch})
-	v.blocked++
-	v.advanceLocked()
-	v.mu.Unlock()
-	<-ch
+	v.park(-1, t, 0)
 }
 
 // WaitSignal blocks until Signal(ch). The blocked state is accounted to the
 // clock, so waiting does not stall virtual time. A channel may carry at
-// most one waiter.
+// most one waiter, and must be one-slot buffered.
 func (v *Virtual) WaitSignal(ch chan struct{}) {
 	v.mu.Lock()
-	if _, ok := v.signaled[ch]; ok {
-		delete(v.signaled, ch)
+	select {
+	case <-ch: // signal already latched
 		v.mu.Unlock()
 		return
+	default:
 	}
 	if _, dup := v.waiters[ch]; dup {
 		v.mu.Unlock()
@@ -219,17 +240,20 @@ func (v *Virtual) WaitSignal(ch chan struct{}) {
 
 // Signal wakes the waiter blocked on ch, transferring its runnability
 // atomically so the clock cannot advance past the signalling instant
-// before the waiter resumes. If no waiter is present the signal is latched.
+// before the waiter resumes. If no waiter is present the signal is latched
+// in the channel's buffer for the next WaitSignal.
 func (v *Virtual) Signal(ch chan struct{}) {
 	v.mu.Lock()
 	if _, ok := v.waiters[ch]; ok {
 		delete(v.waiters, ch)
 		v.blocked--
-		close(ch)
-		v.mu.Unlock()
-		return
 	}
-	v.signaled[ch] = struct{}{}
+	select {
+	case ch <- struct{}{}:
+	default:
+		v.mu.Unlock()
+		panic("vclock: signal overrun (channel unbuffered or signal already latched)")
+	}
 	v.mu.Unlock()
 }
 
@@ -249,12 +273,55 @@ func (v *Virtual) advanceLocked() {
 		v.mu.Unlock()
 		panic(msg)
 	}
-	t := heap.Pop(&v.timers).(timer)
+	t := v.popTimer()
 	if t.wake > v.now {
 		v.now = t.wake
 	}
 	v.blocked--
-	close(t.ch)
+	t.ch <- struct{}{}
+}
+
+// pushTimer inserts t into the heap (sift-up).
+func (v *Virtual) pushTimer(t timer) {
+	h := append(v.timers, t)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !timerLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	v.timers = h
+}
+
+// popTimer removes and returns the minimum timer (sift-down).
+func (v *Virtual) popTimer() timer {
+	h := v.timers
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = timer{} // release the channel reference
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && timerLess(h[l], h[m]) {
+			m = l
+		}
+		if r < n && timerLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	v.timers = h
+	return top
 }
 
 // Real is a Clock backed by the wall clock, for interactive use. Durations
@@ -301,9 +368,9 @@ func (r *Real) YieldOrdered(int64) {}
 // WaitSignal blocks on the channel.
 func (r *Real) WaitSignal(ch chan struct{}) { <-ch }
 
-// Signal closes the channel, waking the waiter. Signalling before the
-// waiter arrives is allowed (close is observed on a later receive).
-func (r *Real) Signal(ch chan struct{}) { close(ch) }
+// Signal sends the wake token, waking the waiter. Signalling before the
+// waiter arrives latches the token in the one-slot buffer.
+func (r *Real) Signal(ch chan struct{}) { ch <- struct{}{} }
 
 var (
 	_ Clock = (*Virtual)(nil)

@@ -49,7 +49,7 @@ func TestVirtualConcurrentSleepersOrdered(t *testing.T) {
 		done := make([]chan struct{}, 3)
 		delays := []time.Duration{30 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond}
 		for i := range done {
-			done[i] = make(chan struct{})
+			done[i] = make(chan struct{}, 1)
 			i := i
 			v.Go(func() {
 				v.Sleep(delays[i])
@@ -77,7 +77,7 @@ func TestVirtualEqualTimersFIFO(t *testing.T) {
 	v := NewVirtual()
 	var order []int
 	v.Run(func() {
-		done := make(chan struct{})
+		done := make(chan struct{}, 1)
 		var remaining atomic.Int32
 		const n = 8
 		remaining.Store(n)
@@ -104,7 +104,7 @@ func TestVirtualEqualTimersFIFO(t *testing.T) {
 func TestVirtualSignalBeforeWait(t *testing.T) {
 	v := NewVirtual()
 	v.Run(func() {
-		ch := make(chan struct{})
+		ch := make(chan struct{}, 1)
 		v.Signal(ch)
 		v.WaitSignal(ch) // must not block or consume virtual time
 		if got := v.Now(); got != 0 {
@@ -117,7 +117,7 @@ func TestVirtualWaitSignalDoesNotStallTime(t *testing.T) {
 	v := NewVirtual()
 	var workerDone time.Duration
 	v.Run(func() {
-		ch := make(chan struct{})
+		ch := make(chan struct{}, 1)
 		v.Go(func() {
 			v.Sleep(7 * time.Second)
 			workerDone = v.Now()
@@ -137,10 +137,10 @@ func TestVirtualNestedSpawn(t *testing.T) {
 	v := NewVirtual()
 	var leafTime time.Duration
 	v.Run(func() {
-		outer := make(chan struct{})
+		outer := make(chan struct{}, 1)
 		v.Go(func() {
 			v.Sleep(time.Second)
-			inner := make(chan struct{})
+			inner := make(chan struct{}, 1)
 			v.Go(func() {
 				v.Sleep(2 * time.Second)
 				leafTime = v.Now()
@@ -164,7 +164,7 @@ func TestVirtualDeadlockPanics(t *testing.T) {
 		}
 	}()
 	v.Run(func() {
-		v.WaitSignal(make(chan struct{})) // nobody will ever signal
+		v.WaitSignal(make(chan struct{}, 1)) // nobody will ever signal
 	})
 }
 
@@ -173,7 +173,7 @@ func TestVirtualDeterministicElapsed(t *testing.T) {
 		v := NewVirtual()
 		var elapsed time.Duration
 		v.Run(func() {
-			done := make(chan struct{})
+			done := make(chan struct{}, 1)
 			var remaining atomic.Int32
 			const n = 5
 			remaining.Store(n)
@@ -210,7 +210,7 @@ func TestRealClockBasics(t *testing.T) {
 	if got := r.Now(); got < 50*time.Millisecond {
 		t.Fatalf("scaled Now = %v, want >= 50ms of virtual time", got)
 	}
-	ch := make(chan struct{})
+	ch := make(chan struct{}, 1)
 	go func() { r.Signal(ch) }()
 	r.WaitSignal(ch)
 }

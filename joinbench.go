@@ -62,12 +62,16 @@ type JoinBenchResult struct {
 	KernelBuildProbeNs   float64 `json:"kernel_build_probe_ns_per_op"`
 	BuildProbeSpeedup    float64 `json:"build_probe_speedup"`
 	BuildProbeTuplesPerS float64 `json:"build_probe_tuples_per_sec"`
+	BuildProbeAllocs     float64 `json:"kernel_build_probe_allocs_per_op"`
+	BuildProbeBytes      float64 `json:"kernel_build_probe_bytes_per_op"`
 
 	// Finalize sort: sort.SliceStable baseline vs parallel merge sort.
 	BaselineSortNs float64 `json:"baseline_sort_ns_per_op"`
 	KernelSortNs   float64 `json:"kernel_sort_ns_per_op"`
 	SortSpeedup    float64 `json:"sort_speedup"`
 	SortRowsPerSec float64 `json:"sort_rows_per_sec"`
+	SortAllocs     float64 `json:"kernel_sort_allocs_per_op"`
+	SortBytes      float64 `json:"kernel_sort_bytes_per_op"`
 }
 
 // MeasureJoin runs both kernel generations iters times and reports
@@ -186,6 +190,20 @@ func MeasureJoin(cfg Config, iters int) (*JoinBenchResult, error) {
 		}
 	}
 
+	// Allocation profile of the kernel rounds, measured apart from the
+	// timing loop so the MemStats reads don't perturb the minima.
+	var mBefore, mAfter runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&mBefore)
+	for i := 0; i < iters; i++ {
+		if _, err := kernelRound(); err != nil {
+			return nil, err
+		}
+	}
+	runtime.ReadMemStats(&mAfter)
+	bpAllocs := float64(mAfter.Mallocs-mBefore.Mallocs) / float64(iters)
+	bpBytes := float64(mAfter.TotalAlloc-mBefore.TotalAlloc) / float64(iters)
+
 	// ---- Finalize sort ----
 
 	// Sort input: the probe relation's rows, appended in executor-sized
@@ -230,6 +248,15 @@ func MeasureJoin(cfg Config, iters int) (*JoinBenchResult, error) {
 		}
 	}
 
+	runtime.GC()
+	runtime.ReadMemStats(&mBefore)
+	for i := 0; i < iters; i++ {
+		kernelSortRound()
+	}
+	runtime.ReadMemStats(&mAfter)
+	sortAllocs := float64(mAfter.Mallocs-mBefore.Mallocs) / float64(iters)
+	sortBytes := float64(mAfter.TotalAlloc-mBefore.TotalAlloc) / float64(iters)
+
 	res := &JoinBenchResult{
 		Iterations:     iters,
 		BuildRows:      len(build),
@@ -242,11 +269,15 @@ func MeasureJoin(cfg Config, iters int) (*JoinBenchResult, error) {
 		KernelBuildProbeNs:   float64(kernBP.Nanoseconds()),
 		BuildProbeSpeedup:    float64(baseBP) / float64(kernBP),
 		BuildProbeTuplesPerS: float64(len(build)+len(probe)) / kernBP.Seconds(),
+		BuildProbeAllocs:     bpAllocs,
+		BuildProbeBytes:      bpBytes,
 
 		BaselineSortNs: float64(baseSort.Nanoseconds()),
 		KernelSortNs:   float64(kernSort.Nanoseconds()),
 		SortSpeedup:    float64(baseSort) / float64(kernSort),
 		SortRowsPerSec: float64(len(sortRows)) / kernSort.Seconds(),
+		SortAllocs:     sortAllocs,
+		SortBytes:      sortBytes,
 	}
 	return res, nil
 }

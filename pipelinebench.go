@@ -66,6 +66,7 @@ func RunPipelineBenchQuery(s *System) (tuples int64, groups int, err error) {
 
 // PipelineBenchResult is one measured run of the pipeline benchmark.
 type PipelineBenchResult struct {
+	Layout       string  `json:"layout"`
 	BatchSize    int     `json:"batch_size"`
 	Iterations   int     `json:"iterations"`
 	TuplesPerSec float64 `json:"tuples_per_sec"`
@@ -90,12 +91,15 @@ func MeasurePipeline(cfg Config, iters int) (*PipelineBenchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Warm up once so lazy initialization is off the clock.
+	// Warm up after the GC, not before: the collector tears down pool
+	// contents, so a pre-GC warm-up would leave the first measured op
+	// re-filling every batch and session pool and the alloc figures
+	// would track pool construction instead of the steady-state path.
+	var before, after runtime.MemStats
+	runtime.GC()
 	if _, _, err := RunPipelineBenchQuery(s); err != nil {
 		return nil, err
 	}
-	var before, after runtime.MemStats
-	runtime.GC()
 	runtime.ReadMemStats(&before)
 	start := time.Now()
 	var tuples int64
@@ -110,7 +114,12 @@ func MeasurePipeline(cfg Config, iters int) (*PipelineBenchResult, error) {
 	}
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
+	layout := "columnar"
+	if cfg.RowBatches {
+		layout = "row"
+	}
 	res := &PipelineBenchResult{
+		Layout:       layout,
 		BatchSize:    s.BatchSize(),
 		Iterations:   iters,
 		TuplesPerSec: float64(tuples) / wall.Seconds(),

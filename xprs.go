@@ -29,6 +29,7 @@ package xprs
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"xprs/internal/btree"
@@ -133,6 +134,11 @@ type Config struct {
 	// (or the executor default) choose. Results and virtual-clock totals
 	// do not depend on it.
 	HashPartitions int
+	// RowBatches forces the executor's row-at-a-time batch layout instead
+	// of the default columnar vectors + selection vectors. Results and
+	// virtual-clock totals do not depend on it; it exists for the
+	// columnar-vs-row ablation and the differential sweep tests.
+	RowBatches bool
 	// Observe enables run observability: structured trace spans (one
 	// lane per slave backend and per disk), scheduler decision events
 	// with reasons, and the metrics registry. Results and virtual-clock
@@ -160,6 +166,25 @@ type System struct {
 	// indexes registered through BuildIndex, offered to the SQL layer as
 	// access paths: relation -> column -> index.
 	indexes map[*storage.Relation]map[int]*btree.Index
+	// planCache holds prepared statements: a free list of compiled
+	// plans (with their ready-made task specs) per SQL text. Fragment
+	// pointers key per-query scheduler state, so one prepared instance
+	// serves one in-flight execution at a time; concurrent submissions
+	// of the same text compile extra instances that join the free list
+	// when they finish. Catalog changes clear the cache (plans hold
+	// relation and index pointers).
+	planMu    sync.Mutex
+	planCache map[string][]*preparedPlan
+}
+
+// preparedPlan is one cached, executable instance of a SQL text: the
+// optimized fragment graph plus its task specs. Specs are reusable
+// across executions because neither the scheduler nor the controller
+// mutates a spec or its core.Task — they keep per-run state in their
+// own maps keyed by task ID.
+type preparedPlan struct {
+	res   *OptResult
+	specs []TaskSpec
 }
 
 // New creates a system. It panics on nonsensical configuration
@@ -178,6 +203,7 @@ func New(cfg Config) *System {
 	engine := exec.New(clock, store, params)
 	engine.BatchSize = cfg.BatchSize
 	engine.HashPartitions = cfg.HashPartitions
+	engine.RowBatches = cfg.RowBatches
 	var observer *obs.Observer
 	if cfg.Observe {
 		observer = obs.NewObserver()
@@ -185,15 +211,47 @@ func New(cfg Config) *System {
 		engine.Metrics = observer.Metrics
 	}
 	return &System{
-		cfg:      cfg,
-		clock:    clock,
-		disks:    disks,
-		store:    store,
-		engine:   engine,
-		params:   params,
-		observer: observer,
-		indexes:  make(map[*storage.Relation]map[int]*btree.Index),
+		cfg:       cfg,
+		clock:     clock,
+		disks:     disks,
+		store:     store,
+		engine:    engine,
+		params:    params,
+		observer:  observer,
+		indexes:   make(map[*storage.Relation]map[int]*btree.Index),
+		planCache: make(map[string][]*preparedPlan),
 	}
+}
+
+// takePlan pops a prepared plan for the SQL text, if one is free.
+func (s *System) takePlan(sql string) *preparedPlan {
+	s.planMu.Lock()
+	defer s.planMu.Unlock()
+	list := s.planCache[sql]
+	if n := len(list); n > 0 {
+		pp := list[n-1]
+		s.planCache[sql] = list[:n-1]
+		return pp
+	}
+	return nil
+}
+
+// putPlan returns a prepared plan to the free list.
+func (s *System) putPlan(sql string, pp *preparedPlan) {
+	s.planMu.Lock()
+	s.planCache[sql] = append(s.planCache[sql], pp)
+	s.planMu.Unlock()
+}
+
+// invalidatePlans drops every prepared plan. Called on catalog changes:
+// cached plans point at relations and indexes by identity.
+func (s *System) invalidatePlans() {
+	s.planMu.Lock()
+	clear(s.planCache)
+	s.planMu.Unlock()
+	// The engine's compiled-runtime pool is keyed by fragment pointers
+	// owned by the plans just dropped.
+	s.engine.InvalidateCompiled()
 }
 
 // Observer returns the system's tracer and metrics registry, or nil when
@@ -232,6 +290,7 @@ func (s *System) Store() *storage.Store { return s.store }
 // CreateScanRelation builds a synthetic relation r(a int4, b text) whose
 // sequential scan runs at the target IO rate (§3's methodology).
 func (s *System) CreateScanRelation(name string, ioRate float64, ntuples int64) (*Relation, error) {
+	s.invalidatePlans()
 	return workload.BuildScanRelation(s.store, s.params, name, ioRate, ntuples)
 }
 
@@ -254,6 +313,7 @@ func (s *System) LoadRelation(name string, rows []struct {
 	if err := s.store.Add(rel); err != nil {
 		return nil, err
 	}
+	s.invalidatePlans()
 	return rel, nil
 }
 
@@ -272,6 +332,7 @@ func (s *System) BuildIndex(relName string, clustered bool) (*Index, error) {
 		s.indexes[rel] = make(map[int]*btree.Index)
 	}
 	s.indexes[rel][ix.Col] = ix
+	s.invalidatePlans()
 	return ix, nil
 }
 
@@ -297,17 +358,45 @@ func (s *System) ExecSQL(sql string, policy Policy) (*Temp, *OptResult, error) {
 // scheduler trace with decision reasons, per-fragment statistics, and —
 // on an observed system — the full event trace and metrics snapshot.
 func (s *System) ExecSQLReport(sql string, policy Policy) (*Temp, *OptResult, *Report, error) {
-	parsed, err := sqlmini.Parse(sql)
+	pp := s.takePlan(sql)
+	if pp == nil {
+		res, err := s.compileSQL(sql)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		specs, err := s.PlanTasks(res, 0)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		pp = &preparedPlan{res: res, specs: specs}
+	}
+	rep, err := s.Run(pp.specs, policy, SchedOptions{})
 	if err != nil {
 		return nil, nil, nil, err
+	}
+	s.putPlan(sql, pp)
+	res := pp.res
+	out := rep.Results[res.Graph.Root.ID]
+	if out == nil {
+		return nil, nil, nil, fmt.Errorf("xprs: query produced no result temp")
+	}
+	return out, res, rep, nil
+}
+
+// compileSQL runs the front half of ExecSQL: parse, bind, optimize, and
+// aggregation wrapping, producing a runnable fragment graph.
+func (s *System) compileSQL(sql string) (*OptResult, error) {
+	parsed, err := sqlmini.Parse(sql)
+	if err != nil {
+		return nil, err
 	}
 	oq, binder, err := sqlmini.CompileWithBinder(parsed, s)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	res, err := s.Optimize(oq, OptOptions{Cost: ParCost, Shape: Bushy})
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	if len(parsed.Aggs) > 0 {
 		// Wrap the chosen plan in the aggregation and re-derive the
@@ -315,35 +404,23 @@ func (s *System) ExecSQLReport(sql string, policy Policy) (*Temp, *OptResult, *R
 		// root fragment and materializes one row per group.
 		groupCol, funcs, err := sqlmini.ResolveAggregates(parsed, binder, res.RelOrder)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, err
 		}
 		wrapped := &plan.Agg{Child: res.Plan, GroupCol: groupCol, Funcs: funcs}
 		g, err := plan.Decompose(wrapped)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, err
 		}
 		ests, err := cost.EstimateGraph(s.params, g)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, err
 		}
 		res = &OptResult{
 			Plan: wrapped, Graph: g, Estimates: ests,
 			RelOrder: res.RelOrder, SeqCost: res.SeqCost, ParCost: res.ParCost,
 		}
 	}
-	specs, err := s.PlanTasks(res, 0)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	rep, err := s.Run(specs, policy, SchedOptions{})
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	out := rep.Results[res.Graph.Root.ID]
-	if out == nil {
-		return nil, nil, nil, fmt.Errorf("xprs: query produced no result temp")
-	}
-	return out, res, rep, nil
+	return res, nil
 }
 
 // SelectTask builds the §3 unit of work: a one-variable selection
