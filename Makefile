@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-matrix bench vet lint allocgate all
+.PHONY: build test race race-matrix bench vet lint allocgate servegate all
 
 all: build lint test
 
@@ -29,10 +29,16 @@ lint: vet
 	$(GO) run ./cmd/xprsvet ./...
 
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkPipelineThroughput|BenchmarkBufferPoolParallel|BenchmarkSchedulerSubmit' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineThroughput|BenchmarkBufferPoolParallel' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkSchedulerSubmit' -benchmem ./internal/exec
 	$(GO) run ./cmd/xprsbench -fig pipeline
 
 # Allocation gate: the executor hot path must stay under the committed
 # allocs/op budget (see TestPipelineAllocGate in bench_test.go).
 allocgate:
 	XPRS_ALLOC_GATE=1 $(GO) test -run TestPipelineAllocGate -v .
+
+# Serving gate: the scheduler's Submit fast path must stay under its
+# allocs/op budget (see TestIntakeAllocGate in sched_bench_test.go).
+servegate:
+	XPRS_ALLOC_GATE=1 $(GO) test -run TestIntakeAllocGate -v ./internal/exec

@@ -12,6 +12,7 @@
 //	xprsbench -fig ablations    # pairing / SJF ablations
 //	xprsbench -fig pipeline     # batch-pipeline wall-clock benchmark
 //	xprsbench -fig join         # join/sort kernel benchmark -> BENCH_join.json
+//	xprsbench -fig serve        # open-loop serving benchmark -> BENCH_serve.json
 //	xprsbench -fig all          # everything
 //
 // Flags -seed, -procs and -disks size the experiment.
@@ -22,12 +23,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"xprs"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure/table to regenerate: 3, 4, 7, table1, balance-seq, sec4, stream, ablations, pipeline, join, all")
+	fig := flag.String("fig", "all", "which figure/table to regenerate: 3, 4, 7, table1, balance-seq, sec4, stream, ablations, pipeline, join, serve, all")
 	seed := flag.Int64("seed", 1992, "workload seed")
 	procs := flag.Int("procs", 8, "number of processors")
 	disks := flag.Int("disks", 4, "number of disks")
@@ -42,6 +45,10 @@ func main() {
 	streamN := flag.Int("streamn", 16, "number of tasks in the stream benchmark")
 	streamMaxQ := flag.Int("streammaxq", 2, "admission concurrent-query cap for the limited stream run")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of one observed pipeline query to this file (with -fig pipeline)")
+	serveOut := flag.String("serveout", "BENCH_serve.json", "output file for the serving benchmark")
+	serveSessions := flag.String("servesessions", "", "comma-separated session counts for the serving grid (default 1000,10000,100000)")
+	serveProcs := flag.String("serveprocs", "", "comma-separated GOMAXPROCS values for the serving benchmark (default 1,4,8)")
+	intakeOps := flag.Int("intakeops", 0, "Submits per intake-ablation measurement (0 = default)")
 	flag.Parse()
 
 	cfg := xprs.DefaultConfig()
@@ -241,4 +248,62 @@ func main() {
 			res.SortSpeedup, res.BaselineSortNs, res.KernelSortNs, *joinOut)
 		return nil
 	})
+	run("serve", func() error {
+		opts := xprs.ServeBenchOptions{IntakeOps: *intakeOps}
+		var err error
+		if opts.SessionCounts, err = parseInts(*serveSessions); err != nil {
+			return fmt.Errorf("-servesessions: %w", err)
+		}
+		if opts.Procs, err = parseInts(*serveProcs); err != nil {
+			return fmt.Errorf("-serveprocs: %w", err)
+		}
+		res, err := xprs.MeasureServe(cfg, opts)
+		if err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*serveOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		for _, row := range res.Grid {
+			fmt.Printf("serve: %7d sessions @ GOMAXPROCS %d: %8.1f ms wall (%8.0f sessions/s), virtual p95 response %.2fs, shed %d\n",
+				row.Sessions, row.Procs, row.WallMs, row.WallQPS,
+				row.Stats.Response.P95.Seconds(), row.Stats.Shed)
+		}
+		for _, row := range res.Intake {
+			kind := "sharded"
+			if row.Serial {
+				kind = "serial "
+			}
+			fmt.Printf("serve: intake %s @ GOMAXPROCS %d: %6.0f ns/op, %9.0f submits/s\n",
+				kind, row.Procs, row.NsPerOp, row.QPS)
+		}
+		if res.IntakeSpeedup4 > 0 {
+			fmt.Printf("serve: sharded intake speedup GOMAXPROCS 4 vs 1: %.2fx -> %s\n",
+				res.IntakeSpeedup4, *serveOut)
+		} else {
+			fmt.Printf("serve: wrote %s (speedup needs GOMAXPROCS 1 and 4 in -serveprocs)\n", *serveOut)
+		}
+		return nil
+	})
+}
+
+// parseInts parses a comma-separated integer list; empty means nil
+// (the benchmark's defaults).
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

@@ -1,0 +1,161 @@
+package exec
+
+// Microbenchmarks of the scheduler's Submit→admission fast path, on a
+// real clock so the numbers are host time. Degenerate empty queries
+// keep every op inside the intake machinery: shard push, doorbell,
+// master drain-and-decide, settle. The windowed Wait (every 64 ops)
+// bounds outstanding handles without rendezvousing each op — the
+// master settles in intake order, so a settled recent handle means the
+// older ones are settled too.
+
+import (
+	"os"
+	"runtime"
+	"testing"
+
+	"xprs/internal/core"
+	"xprs/internal/cost"
+	"xprs/internal/diskmodel"
+	"xprs/internal/storage"
+	"xprs/internal/vclock"
+)
+
+func benchScheduler(b *testing.B, shards int) *Scheduler {
+	b.Helper()
+	clk := vclock.NewReal(1)
+	dcfg := diskmodel.DefaultConfig()
+	st := storage.NewStore(clk, diskmodel.New(clk, dcfg), 0)
+	eng := New(clk, st, cost.DefaultParams(dcfg, runtime.GOMAXPROCS(0)))
+	sched := NewScheduler(eng, core.InterAdj, core.Options{}, AdmissionConfig{IntakeShards: shards})
+	b.Cleanup(func() {
+		if err := sched.Drain(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	return sched
+}
+
+// submitLoop is the shared measurement body: n Submits with a windowed
+// Wait, final Wait to drain the tail.
+func submitLoop(b *testing.B, sched *Scheduler, n int) {
+	var last *QueryHandle
+	for i := 0; i < n; i++ {
+		h, err := sched.Submit(nil)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		last = h
+		if i%64 == 63 {
+			if _, err := last.Wait(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}
+	if last != nil {
+		if _, err := last.Wait(); err != nil {
+			b.Error(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerSubmit is the serial fast path: one submitter, so
+// ns/op is the full client+master round trip and allocs/op is the
+// per-query allocation floor the allocation gate watches.
+func BenchmarkSchedulerSubmit(b *testing.B) {
+	sched := benchScheduler(b, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	submitLoop(b, sched, b.N)
+}
+
+// BenchmarkSchedulerSubmitParallel hammers Submit from every proc at
+// once: the number that must scale with GOMAXPROCS, and the one the
+// sharded-vs-serial ablation compares.
+func BenchmarkSchedulerSubmitParallel(b *testing.B) {
+	sched := benchScheduler(b, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var last *QueryHandle
+		i := 0
+		for pb.Next() {
+			h, err := sched.Submit(nil)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			last = h
+			if i%64 == 63 {
+				if _, err := last.Wait(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			i++
+		}
+		if last != nil {
+			if _, err := last.Wait(); err != nil {
+				b.Error(err)
+			}
+		}
+	})
+}
+
+// intakeAllocBudget is the CI allocation gate for the Submit fast
+// path. The steady state is 5 allocs/op — the report, its three maps,
+// and the handle, all of which escape to the caller; the query
+// bookkeeping itself recycles through a pool. The budget leaves a
+// little headroom while catching any regression toward per-submit
+// rebuilding of the bookkeeping maps (which alone would roughly double
+// it).
+const intakeAllocBudget = 8
+
+// TestIntakeAllocGate enforces intakeAllocBudget. Skipped unless
+// XPRS_ALLOC_GATE is set (CI runs it via `make servegate`) so ordinary
+// `go test ./...` stays robust on noisy machines.
+func TestIntakeAllocGate(t *testing.T) {
+	if os.Getenv("XPRS_ALLOC_GATE") == "" {
+		t.Skip("set XPRS_ALLOC_GATE=1 to run the allocation gate")
+	}
+	r := testing.Benchmark(BenchmarkSchedulerSubmit)
+	t.Logf("intake: %d allocs/op, %d B/op, %d ns/op (budget %d allocs/op)",
+		r.AllocsPerOp(), r.AllocedBytesPerOp(), r.NsPerOp(), intakeAllocBudget)
+	if r.AllocsPerOp() > intakeAllocBudget {
+		t.Fatalf("Submit fast path allocates %d allocs/op, budget is %d — an allocation regression crept into intake",
+			r.AllocsPerOp(), intakeAllocBudget)
+	}
+}
+
+// BenchmarkSchedulerSubmitSerialIntake is the ablation partner of the
+// parallel benchmark: identical load through a single intake shard.
+func BenchmarkSchedulerSubmitSerialIntake(b *testing.B) {
+	sched := benchScheduler(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var last *QueryHandle
+		i := 0
+		for pb.Next() {
+			h, err := sched.Submit(nil)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			last = h
+			if i%64 == 63 {
+				if _, err := last.Wait(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			i++
+		}
+		if last != nil {
+			if _, err := last.Wait(); err != nil {
+				b.Error(err)
+			}
+		}
+	})
+}

@@ -2,8 +2,10 @@ package exec
 
 import (
 	"fmt"
+	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xprs/internal/core"
@@ -24,6 +26,16 @@ import (
 // cap) wait in a FIFO admission queue, and the time they spend there is
 // reported as Report.QueueWait and as instants on the scheduler's trace
 // lane.
+//
+// Intake is sharded. Submit never serializes on a global lock: a query
+// claims its task IDs in per-shard live tables, takes a sequence number
+// from one atomic counter, and appends itself to one of several
+// mutex-guarded intake queues. The master loop stays the single
+// decision maker — it drains every shard into one batch, sorts the
+// batch by sequence number, and runs the same per-query admission logic
+// as before — so shard count and batch boundaries are invisible in the
+// results: admission order is intake-sequence order, full stop. See
+// DESIGN.md §13 for the determinism argument.
 
 // AdmissionConfig gates whole queries before their tasks reach the
 // controller's S_io/S_cpu queues. This is coarser than — and composes
@@ -39,15 +51,45 @@ type AdmissionConfig struct {
 	// MaxQueries caps the number of concurrently admitted queries; 0
 	// disables the constraint.
 	MaxQueries int
+	// MaxQueued caps the admission queue depth: a query that does not
+	// fit while MaxQueued others already wait is shed — its handle
+	// settles with a *ShedError and the session stays healthy. 0
+	// disables shedding (the queue grows without bound).
+	MaxQueued int
+	// TenantMaxQueries caps concurrently admitted queries per tenant
+	// and switches the admission wake from strict head-of-line FIFO to
+	// a fair-share scan: a tenant at its quota cannot block other
+	// tenants' queries queued behind it. 0 disables per-tenant caps.
+	TenantMaxQueries int
+	// IntakeShards overrides the number of intake shards (rounded up to
+	// a power of two, clamped to [1,64]); 0 means GOMAXPROCS. Shard
+	// count is a pure contention knob: results are byte-identical at
+	// any value, including 1 (the serial-intake ablation).
+	IntakeShards int
+}
+
+// ShedError is the typed rejection a query receives when it cannot be
+// admitted and the admission queue already holds MaxQueued waiters. A
+// shed query acquired no admission charge, so there is nothing to leak
+// or release; the session keeps serving.
+type ShedError struct {
+	Tenant string // tenant of the shed query
+	Queued int    // admission-queue depth at the shed decision
+	Limit  int    // the MaxQueued threshold
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("exec: query shed: admission queue at %d (limit %d)", e.Queued, e.Limit)
 }
 
 // QueryHandle is a client's ticket for one submitted query.
 type QueryHandle struct {
 	id    int
 	sched *Scheduler
-	done  chan struct{}
 
 	mu      sync.Mutex
+	done    chan struct{} // allocated by the first Wait that has to block
+	waiting bool
 	settled bool
 	rep     *Report
 	err     error
@@ -67,26 +109,49 @@ func (h *QueryHandle) Wait() (*Report, error) {
 		h.mu.Unlock()
 		return rep, err
 	}
+	if h.done == nil {
+		h.done = make(chan struct{}, 1)
+	}
+	h.waiting = true
+	ch := h.done
 	h.mu.Unlock()
-	h.sched.eng.Clock.WaitSignal(h.done)
+	h.sched.eng.Clock.WaitSignal(ch)
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.rep, h.err
 }
 
-// settle publishes the query outcome and wakes the waiter. Signal
-// latches, so a settle before the first Wait is not lost.
+// Done reports, without blocking, whether the query has settled. A true
+// result means Wait returns immediately; open-loop drivers use it to
+// reap completed queries between arrivals without stalling the arrival
+// process.
+func (h *QueryHandle) Done() bool {
+	h.mu.Lock()
+	d := h.settled
+	h.mu.Unlock()
+	return d
+}
+
+// settle publishes the query outcome and wakes a blocked waiter. The
+// settled flag latches under the mutex, so a Wait that checks it after
+// this point returns without blocking, and a Wait already committed to
+// blocking has set waiting (and allocated the channel) first — the
+// signal is sent exactly when someone needs it.
 func (h *QueryHandle) settle(rep *Report, err error) {
 	h.mu.Lock()
 	h.settled = true
 	h.rep, h.err = rep, err
+	wake, ch := h.waiting, h.done
 	h.mu.Unlock()
-	h.sched.eng.Clock.Signal(h.done)
+	if wake {
+		h.sched.eng.Clock.Signal(ch)
+	}
 }
 
 // query is the master-side state of one submitted query.
 type query struct {
 	id     int
+	tenant string
 	handle *QueryHandle
 	specs  map[int]*TaskSpec
 	ids    []int // task IDs in ascending order
@@ -123,9 +188,43 @@ func (q *query) complete() bool {
 	return q.finished == len(q.specs)
 }
 
+// queryPool recycles query bookkeeping (spec/arrival/completion maps)
+// across queries and schedulers. Submit runs on client goroutines while
+// finishQuery recycles on the master loop; sync.Pool replaces the
+// mutex-guarded free list the intake path used to serialize on.
+var queryPool = sync.Pool{New: func() any { return &query{specs: make(map[int]*TaskSpec)} }}
+
+func getQuery() *query { return queryPool.Get().(*query) }
+
+// putQuery clears and reclaims query bookkeeping. A query recycles when
+// it settles — its handle and report have escaped to the caller by then
+// and are detached first — or when Submit rejects it before intake.
+func putQuery(q *query) {
+	clear(q.specs)
+	q.ids = q.ids[:0]
+	q.mem = 0
+	q.tenant = ""
+	q.submitRel, q.admitRel = 0, 0
+	q.admitted = false
+	q.traceMark = 0
+	clear(q.arrived)
+	clear(q.submitted)
+	clear(q.done)
+	q.started, q.finished = 0, 0
+	q.failed = nil
+	q.frs = nil
+	q.rep = nil
+	q.handle = nil
+	q.id = 0
+	queryPool.Put(q)
+}
+
 // Events posted to the scheduler's mailbox (taskDone, posted by slave
 // exits, is declared next to the running-task machinery in engine.go).
-type submitMsg struct{ q *query }
+// intakeNote is the sharded-intake doorbell: posted only on the
+// empty→non-empty transition of the global pending count, so a burst of
+// Submits costs one mailbox wakeup, not one per query.
+type intakeNote struct{}
 
 type drainMsg struct{ ack chan struct{} }
 
@@ -135,11 +234,29 @@ type drainMsg struct{ ack chan struct{} }
 // possibly a reused query ID) for its own.
 type arrivalTick struct{ gen, qid, id int }
 
+// intakeShard is one stripe of the Submit fast path: a slice of the
+// live task-ID table and an intake queue, under a shard-private mutex.
+// The atomic counters are contention-free bookkeeping the master (and
+// the metrics snapshotter) reconcile at decision points; the trailing
+// pad keeps neighbouring shards off one cache line.
+type intakeShard struct {
+	mu     sync.Mutex
+	queue  []*query
+	live   map[int]int // task ID -> query ID, for cross-query collisions
+	closed bool
+
+	queued  atomic.Int64 // accepted, not yet admitted or shed
+	submits atomic.Int64 // accepted submissions this session
+	contend atomic.Int64 // lock acquisitions that had to wait
+
+	_ [64]byte
+}
+
 // Scheduler is the persistent scheduling service. Create one with
 // NewScheduler (which spawns the master backend on a clock-registered
-// goroutine), Submit queries from any clock-registered goroutine, and
-// Drain before leaving the clock's scope. An Engine hosts at most one
-// live Scheduler at a time.
+// goroutine), Submit queries from any goroutine, and Drain before
+// leaving the clock's scope. An Engine hosts at most one live Scheduler
+// at a time.
 type Scheduler struct {
 	eng *Engine
 	ctl *core.Controller
@@ -152,30 +269,32 @@ type Scheduler struct {
 	gen    int
 	loopFn func()
 
-	// mu guards the client-facing state (query-ID allocation, live task
-	// IDs, the drained flag) and orders client Posts against Drain's.
-	mu      sync.Mutex
-	nextQID int
-	closed  bool
-	liveIDs map[int]int // task ID -> query ID, for cross-query collisions
-	// qFree recycles query bookkeeping (spec/arrival/completion maps)
-	// across queries; guarded by mu because Submit runs on client
-	// goroutines while finishQuery recycles on the master loop.
-	qFree []*query
+	// Sharded client-facing state. submitSeq allocates query IDs, which
+	// double as the global intake order; intakeCount is the pending-
+	// entry count behind the intakeNote doorbell; closedFlag makes
+	// Drain idempotent.
+	shards     []intakeShard
+	shardMask  uint32
+	submitSeq  atomic.Int64
+	intakeLive atomic.Int64
+	closedFlag atomic.Bool
 
 	// Master-owned state (touched only by the loop goroutine).
-	queries   map[int]*query
-	byTask    map[int]*query
-	admitQ    []*query // FIFO admission queue
-	nAdmitted int
-	memInUse  int64
-	inflight  int
-	running   map[int]*runningTask
-	temps     map[*plan.Fragment]*Temp
-	hashes    map[*plan.Fragment]*HashTable
-	colHashes map[*plan.Fragment]*ColHashTable
-	draining  bool
-	drainAck  chan struct{}
+	intakeBatch []*query // drain-and-decide scratch
+	queries     map[int]*query
+	byTask      map[int]*query
+	admitQ      []*query // FIFO admission queue
+	tenants     map[string]*tenantState
+	defTenant   *tenantState // cached s.tenants[""]
+	nAdmitted   int
+	memInUse    int64
+	inflight    int
+	running     map[int]*runningTask
+	temps       map[*plan.Fragment]*Temp
+	hashes      map[*plan.Fragment]*HashTable
+	colHashes   map[*plan.Fragment]*ColHashTable
+	draining    bool
+	drainAck    chan struct{}
 
 	// Admission observability (nil when metrics are off; methods no-op).
 	gQDepthIO *obs.Gauge
@@ -183,6 +302,17 @@ type Scheduler struct {
 	gAdmitQ   *obs.Gauge
 	gInflight *obs.Gauge
 	hWaitUs   *obs.Histogram
+	mShed     *obs.Counter
+}
+
+// tenantState is the master's per-tenant admission bookkeeping.
+type tenantState struct {
+	admitted int // queries currently past admission
+	waiting  int // queries in the admission queue
+
+	gRun  *obs.Gauge
+	gWait *obs.Gauge
+	cShed *obs.Counter
 }
 
 // NewScheduler starts a scheduler service on the engine. The engine's
@@ -200,9 +330,9 @@ func NewScheduler(e *Engine, policy core.Policy, opts core.Options, adm Admissio
 		s = &Scheduler{
 			eng:       e,
 			events:    vclock.NewMailbox(e.Clock),
-			liveIDs:   make(map[int]int),
 			queries:   make(map[int]*query),
 			byTask:    make(map[int]*query),
+			tenants:   make(map[string]*tenantState),
 			running:   make(map[int]*runningTask),
 			temps:     make(map[*plan.Fragment]*Temp),
 			hashes:    make(map[*plan.Fragment]*HashTable),
@@ -215,6 +345,7 @@ func NewScheduler(e *Engine, policy core.Policy, opts core.Options, adm Admissio
 	s.gen++
 	s.ctl = core.NewController(e.Env, policy, opts)
 	s.adm = adm
+	s.ensureShards(adm.IntakeShards)
 	e.sched = s
 	e.events = s.events
 	e.Store.Disks.ResetStats()
@@ -236,8 +367,59 @@ func NewScheduler(e *Engine, policy core.Policy, opts core.Options, adm Admissio
 	s.gAdmitQ = e.Metrics.Gauge("sched.admission_queued")
 	s.gInflight = e.Metrics.Gauge("sched.queries_running")
 	s.hWaitUs = e.Metrics.Histogram("sched.queue_wait_micros")
+	s.mShed = e.Metrics.Counter("sched.shed_total")
+	if e.Metrics != nil {
+		// Intake health, sampled straight off the per-shard atomics at
+		// snapshot time (no clock interaction: obsnoclock-clean).
+		e.Metrics.RegisterFunc("sched.intake_queued", func() int64 { return s.sumShards(func(sh *intakeShard) int64 { return sh.queued.Load() }) })
+		e.Metrics.RegisterFunc("sched.intake_submits", func() int64 { return s.sumShards(func(sh *intakeShard) int64 { return sh.submits.Load() }) })
+		e.Metrics.RegisterFunc("sched.intake_contention", func() int64 { return s.sumShards(func(sh *intakeShard) int64 { return sh.contend.Load() }) })
+	}
 	e.Clock.Go(s.loopFn)
 	return s
+}
+
+// ensureShards sizes the intake shard array: an explicit override, or
+// GOMAXPROCS, rounded up to a power of two in [1,64]. The count only
+// moves lock contention around — drained batches are sorted by intake
+// sequence, so results do not depend on it.
+func (s *Scheduler) ensureShards(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := 1
+	for p < n && p < 64 {
+		p <<= 1
+	}
+	if len(s.shards) == p {
+		return
+	}
+	s.shards = make([]intakeShard, p)
+	for i := range s.shards {
+		s.shards[i].live = make(map[int]int)
+	}
+	s.shardMask = uint32(p - 1)
+}
+
+// sumShards folds one per-shard atomic across the shard array.
+func (s *Scheduler) sumShards(f func(*intakeShard) int64) int64 {
+	var total int64
+	for i := range s.shards {
+		total += f(&s.shards[i])
+	}
+	return total
+}
+
+// intakeShardOf maps a query (by its intake sequence) to a shard.
+// Consecutive sequences land on consecutive shards, so a burst of
+// parallel Submits naturally stripes across every intake lock.
+func (s *Scheduler) intakeShardOf(qid int) *intakeShard {
+	return &s.shards[uint32(qid)&s.shardMask]
+}
+
+// liveIndex maps a task ID to the shard holding its live-table slice.
+func (s *Scheduler) liveIndex(id int) uint32 {
+	return (uint32(id) * 0x9e3779b9 >> 16) & s.shardMask
 }
 
 // resetSession readies a drained scheduler for another session. Every
@@ -245,11 +427,24 @@ func NewScheduler(e *Engine, policy core.Policy, opts core.Options, adm Admissio
 // with no queries in flight); the clears are insurance against a
 // poisoned session leaving residue, and keep map capacity either way.
 func (s *Scheduler) resetSession() {
-	s.nextQID = 0
-	s.closed = false
-	clear(s.liveIDs)
+	s.submitSeq.Store(0)
+	s.intakeLive.Store(0)
+	s.closedFlag.Store(false)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.queue = sh.queue[:0]
+		clear(sh.live)
+		sh.closed = false
+		sh.mu.Unlock()
+		sh.queued.Store(0)
+		sh.submits.Store(0)
+		sh.contend.Store(0)
+	}
 	clear(s.queries)
 	clear(s.byTask)
+	clear(s.tenants)
+	s.defTenant = nil
 	s.admitQ = s.admitQ[:0]
 	s.nAdmitted = 0
 	s.memInUse = 0
@@ -266,24 +461,35 @@ func (s *Scheduler) resetSession() {
 func (s *Scheduler) now() time.Duration { return s.eng.Clock.Now() - s.start }
 
 // Submit registers one query — a set of dependent task specs — with the
-// service and returns its handle. Validation errors are synchronous; the
-// query itself is admitted and executed asynchronously. Task IDs must be
-// unique within the query and against every in-flight query. A spec's
-// Arrival is relative to the query's admission instant (zero, the
-// common case for online submission, means "run as soon as admitted").
+// service and returns its handle. It is SubmitTenant under the default
+// (empty) tenant.
 func (s *Scheduler) Submit(specs []TaskSpec) (*QueryHandle, error) {
-	q := s.getQuery()
+	return s.SubmitTenant("", specs)
+}
+
+// SubmitTenant registers one query on behalf of a tenant. Validation
+// errors are synchronous; the query itself is admitted and executed
+// asynchronously. Task IDs must be unique within the query and against
+// every in-flight query. A spec's Arrival is relative to the query's
+// admission instant (zero, the common case for online submission, means
+// "run as soon as admitted").
+//
+// The fast path is sharded: concurrent callers contend only on their
+// task-ID and intake shards plus two atomic increments, never on a
+// global lock or on the master loop.
+func (s *Scheduler) SubmitTenant(tenant string, specs []TaskSpec) (*QueryHandle, error) {
+	q := getQuery()
 	byID := q.specs
 	ids := q.ids[:0]
 	var mem int64
 	for i := range specs {
 		sp := &specs[i]
 		if sp.Task == nil || sp.Frag == nil {
-			s.putQuery(q)
+			putQuery(q)
 			return nil, fmt.Errorf("exec: spec %d missing task or fragment", i)
 		}
 		if _, dup := byID[sp.Task.ID]; dup {
-			s.putQuery(q)
+			putQuery(q)
 			return nil, fmt.Errorf("exec: duplicate task ID %d", sp.Task.ID)
 		}
 		byID[sp.Task.ID] = sp
@@ -293,7 +499,7 @@ func (s *Scheduler) Submit(specs []TaskSpec) (*QueryHandle, error) {
 	for _, sp := range byID {
 		for _, dep := range sp.DependsOn {
 			if _, ok := byID[dep]; !ok {
-				s.putQuery(q)
+				putQuery(q)
 				return nil, fmt.Errorf("exec: task %d depends on unknown %d", sp.Task.ID, dep)
 			}
 		}
@@ -302,6 +508,17 @@ func (s *Scheduler) Submit(specs []TaskSpec) (*QueryHandle, error) {
 
 	q.ids = ids
 	q.mem = mem
+	q.tenant = tenant
+	// The query ID doubles as the global intake sequence number: the
+	// master sorts every drained batch by it, so admission order is
+	// exactly the order of these Add calls no matter how entries spread
+	// across shards or batches. A rejected submission leaves a hole in
+	// the sequence, which nothing downstream minds.
+	q.id = int(s.submitSeq.Add(1) - 1)
+	if err := s.registerIDs(q); err != nil {
+		putQuery(q)
+		return nil, err
+	}
 	// The report and handle escape to the caller, so they are the one
 	// per-query allocation that cannot recycle.
 	q.rep = &Report{
@@ -309,70 +526,88 @@ func (s *Scheduler) Submit(specs []TaskSpec) (*QueryHandle, error) {
 		Results: make(map[int]*Temp),
 		Frags:   make(map[int]FragStat),
 	}
+	q.traceMark = s.eng.Trace.Mark()
+	q.handle = &QueryHandle{id: q.id, sched: s}
 
-	// Register and post under mu: a Submit that passes the closed check
-	// must enqueue its message ahead of Drain's, or the loop could exit
-	// with the query unprocessed and strand the waiter.
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	sh := s.intakeShardOf(q.id)
+	if !sh.mu.TryLock() {
+		sh.contend.Add(1)
+		sh.mu.Lock()
+	}
+	if sh.closed {
+		sh.mu.Unlock()
+		s.deregisterIDs(q)
+		putQuery(q)
 		return nil, fmt.Errorf("exec: scheduler is drained")
 	}
-	for _, id := range ids {
-		if qid, live := s.liveIDs[id]; live {
-			s.mu.Unlock()
-			return nil, fmt.Errorf("exec: task ID %d already live in query %d", id, qid)
-		}
+	sh.queue = append(sh.queue, q)
+	sh.queued.Add(1)
+	sh.submits.Add(1)
+	// Doorbell on the empty→non-empty transition only. The count moves
+	// inside the shard critical section, so Drain's closed sweep (which
+	// takes every shard lock) strictly follows every accepted entry's
+	// push and notification — no straggler can ring after drainMsg.
+	if s.intakeLive.Add(1) == 1 {
+		s.events.Post(intakeNote{})
 	}
-	q.id = s.nextQID
-	s.nextQID++
-	for _, id := range ids {
-		s.liveIDs[id] = q.id
-	}
-	q.traceMark = s.eng.Trace.Mark()
-	q.handle = &QueryHandle{id: q.id, sched: s, done: make(chan struct{}, 1)}
-	s.events.Post(submitMsg{q: q})
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	return q.handle, nil
 }
 
-// getQuery hands out recycled query bookkeeping; putQuery clears and
-// reclaims it. A query recycles when it settles (finishQuery) — its
-// handle and report have escaped to the caller by then and are detached
-// first — or when Submit rejects it before registration.
-func (s *Scheduler) getQuery() *query {
-	s.mu.Lock()
-	var q *query
-	if n := len(s.qFree); n > 0 {
-		q = s.qFree[n-1]
-		s.qFree = s.qFree[:n-1]
+// registerIDs claims the query's task IDs in the sharded live tables,
+// rejecting cross-query collisions. The shards involved are locked in
+// ascending index order, so concurrent multi-shard registrations cannot
+// deadlock; queries wider than the scratch array fall back to locking
+// every shard (still ascending).
+func (s *Scheduler) registerIDs(q *query) error {
+	if len(q.ids) == 0 {
+		return nil
 	}
-	s.mu.Unlock()
-	if q == nil {
-		q = &query{specs: make(map[int]*TaskSpec)}
+	var scratch [16]uint32
+	idxs := scratch[:0]
+	for _, id := range q.ids {
+		ix := s.liveIndex(id)
+		if !slices.Contains(idxs, ix) {
+			if len(idxs) == cap(idxs) {
+				idxs = idxs[:0]
+				for i := range s.shards {
+					idxs = append(idxs, uint32(i))
+				}
+				break
+			}
+			idxs = append(idxs, ix)
+		}
 	}
-	return q
+	slices.Sort(idxs)
+	for _, ix := range idxs {
+		s.shards[ix].mu.Lock()
+	}
+	var err error
+	for _, id := range q.ids {
+		if qid, live := s.shards[s.liveIndex(id)].live[id]; live {
+			err = fmt.Errorf("exec: task ID %d already live in query %d", id, qid)
+			break
+		}
+	}
+	if err == nil {
+		for _, id := range q.ids {
+			s.shards[s.liveIndex(id)].live[id] = q.id
+		}
+	}
+	for _, ix := range idxs {
+		s.shards[ix].mu.Unlock()
+	}
+	return err
 }
 
-func (s *Scheduler) putQuery(q *query) {
-	clear(q.specs)
-	q.ids = q.ids[:0]
-	q.mem = 0
-	q.submitRel, q.admitRel = 0, 0
-	q.admitted = false
-	q.traceMark = 0
-	clear(q.arrived)
-	clear(q.submitted)
-	clear(q.done)
-	q.started, q.finished = 0, 0
-	q.failed = nil
-	q.frs = nil
-	q.rep = nil
-	q.handle = nil
-	q.id = 0
-	s.mu.Lock()
-	s.qFree = append(s.qFree, q)
-	s.mu.Unlock()
+// deregisterIDs releases the query's task-ID claims.
+func (s *Scheduler) deregisterIDs(q *query) {
+	for _, id := range q.ids {
+		sh := &s.shards[s.liveIndex(id)]
+		sh.mu.Lock()
+		delete(sh.live, id)
+		sh.mu.Unlock()
+	}
 }
 
 // Drain blocks until every submitted query has completed, then stops the
@@ -380,19 +615,26 @@ func (s *Scheduler) putQuery(q *query) {
 // scheduler accepts no submissions afterwards; calls after the first
 // return immediately.
 func (s *Scheduler) Drain() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closedFlag.Swap(true) {
 		return nil
 	}
-	s.closed = true
+	// Close every shard. A Submit that passed its closed check held the
+	// shard lock first, so by the end of this sweep every accepted query
+	// is pushed and its doorbell (if any) posted — the drainMsg below is
+	// therefore ordered after the last intake event in the mailbox.
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.closed = true
+		sh.mu.Unlock()
+	}
 	ack := make(chan struct{}, 1)
 	s.events.Post(drainMsg{ack: ack})
-	s.mu.Unlock()
 	s.eng.Clock.WaitSignal(ack)
 	s.eng.sched = nil
-	// The loop goroutine has exited; park the session (maps, mailbox,
-	// admission queue keep their capacity) for the next NewScheduler.
+	// The loop goroutine has exited; park the session (maps, shards,
+	// mailbox, admission queue keep their capacity) for the next
+	// NewScheduler.
 	s.eng.schedFree = s
 	return nil
 }
@@ -405,8 +647,8 @@ func (s *Scheduler) loop() {
 			break
 		}
 		switch ev := s.events.Wait().(type) {
-		case submitMsg:
-			s.onSubmit(ev.q)
+		case intakeNote:
+			s.drainIntake()
 		case arrivalTick:
 			if ev.gen != s.gen {
 				break // stale timer from a drained session
@@ -418,6 +660,10 @@ func (s *Scheduler) loop() {
 		case taskDone:
 			s.onTaskDone(ev)
 		case drainMsg:
+			// Belt and braces: every accepted query's doorbell precedes
+			// drainMsg in the mailbox, so the queues are normally empty
+			// here, but one extra sweep makes the invariant local.
+			s.drainIntake()
 			s.draining = true
 			s.drainAck = ev.ack
 		default:
@@ -429,10 +675,73 @@ func (s *Scheduler) loop() {
 	}
 }
 
-// onSubmit records a freshly submitted query and either admits it or
-// parks it in the admission queue.
-func (s *Scheduler) onSubmit(q *query) {
-	q.submitRel = s.now()
+// drainIntake is the drain-and-decide step: sweep every shard into one
+// batch, order the batch by intake sequence, and run per-query
+// admission. The pending counter bounds the work: a positive read
+// guarantees the next sweep collects something (entries are pushed
+// before the counter moves, inside the same critical section), and
+// entries pushed after the final zero read ring their own doorbell —
+// the first of any concurrent group sees the empty→non-empty
+// transition. Checking the counter instead of sweeping-until-empty
+// saves a full lock sweep per drain and makes stale doorbells free.
+func (s *Scheduler) drainIntake() {
+	for s.intakeLive.Load() > 0 {
+		batch := s.intakeBatch[:0]
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.Lock()
+			batch = append(batch, sh.queue...)
+			for j := range sh.queue {
+				sh.queue[j] = nil
+			}
+			sh.queue = sh.queue[:0]
+			sh.mu.Unlock()
+		}
+		s.intakeBatch = batch[:0]
+		if len(batch) == 0 {
+			continue
+		}
+		slices.SortFunc(batch, func(a, b *query) int { return a.id - b.id })
+		// One clock read per batch: the master never blocks while
+		// processing it, so under the virtual clock every entry sees this
+		// instant anyway; on a real clock it drops two clock reads from
+		// the per-query fast path.
+		now := s.now()
+		for _, q := range batch {
+			s.onSubmit(q, now)
+		}
+		s.intakeLive.Add(-int64(len(batch)))
+	}
+}
+
+// tenant returns (creating on first sight) the master's bookkeeping for
+// a tenant name. The default tenant — every plain Submit — bypasses the
+// map through a cached pointer.
+func (s *Scheduler) tenant(name string) *tenantState {
+	if name == "" && s.defTenant != nil {
+		return s.defTenant
+	}
+	ts := s.tenants[name]
+	if ts == nil {
+		ts = &tenantState{}
+		if m := s.eng.Metrics; m != nil {
+			ts.gRun = m.Gauge(obs.Label("sched.tenant_running", name))
+			ts.gWait = m.Gauge(obs.Label("sched.tenant_waiting", name))
+			ts.cShed = m.Counter(obs.Label("sched.tenant_shed", name))
+		}
+		s.tenants[name] = ts
+		if name == "" {
+			s.defTenant = ts
+		}
+	}
+	return ts
+}
+
+// onSubmit records a freshly submitted query and admits it, parks it in
+// the admission queue, or — past the MaxQueued backpressure threshold —
+// sheds it.
+func (s *Scheduler) onSubmit(q *query, now time.Duration) {
+	q.submitRel = now
 	if q.arrived == nil {
 		q.arrived = make(map[int]bool, len(q.ids))
 		q.submitted = make(map[int]bool, len(q.ids))
@@ -449,9 +758,16 @@ func (s *Scheduler) onSubmit(q *query) {
 			"query %d: %d tasks, %d B working set", q.id, len(q.ids), q.mem))
 	}
 	if s.admits(q) {
-		s.admit(q)
+		s.admit(q, now)
 		return
 	}
+	if lim := s.adm.MaxQueued; lim > 0 && len(s.admitQ) >= lim {
+		s.shed(q)
+		return
+	}
+	ts := s.tenant(q.tenant)
+	ts.waiting++
+	ts.gWait.Set(int64(ts.waiting))
 	s.admitQ = append(s.admitQ, q)
 	s.gAdmitQ.Set(int64(len(s.admitQ)))
 	if s.eng.Trace != nil {
@@ -459,6 +775,29 @@ func (s *Scheduler) onSubmit(q *query) {
 			"query %d queued: %d B in use of %d budget, %d/%d queries admitted",
 			q.id, s.memInUse, s.adm.MemoryBudget, s.nAdmitted, s.adm.MaxQueries))
 	}
+}
+
+// shed rejects a query at the backpressure threshold with a typed
+// *ShedError. The query never acquired an admission charge, so nothing
+// is released — memInUse and nAdmitted are untouched — and the session
+// keeps serving; only this handle settles with the error.
+func (s *Scheduler) shed(q *query) {
+	s.mShed.Inc()
+	s.tenant(q.tenant).cShed.Inc()
+	s.intakeShardOf(q.id).queued.Add(-1)
+	if s.eng.Trace != nil {
+		s.eng.schedEvent("shed", fmt.Sprintf(
+			"query %d shed: admission queue at limit %d", q.id, s.adm.MaxQueued))
+	}
+	delete(s.queries, q.id)
+	for _, id := range q.ids {
+		delete(s.byTask, id)
+	}
+	s.deregisterIDs(q)
+	s.inflight--
+	s.gInflight.Set(int64(s.inflight))
+	q.handle.settle(nil, &ShedError{Tenant: q.tenant, Queued: len(s.admitQ), Limit: s.adm.MaxQueued})
+	putQuery(q)
 }
 
 // admits reports whether the query fits the admission budget right now.
@@ -474,17 +813,26 @@ func (s *Scheduler) admits(q *query) bool {
 	if s.adm.MemoryBudget > 0 && s.memInUse+q.mem > s.adm.MemoryBudget {
 		return false
 	}
+	if s.adm.TenantMaxQueries > 0 {
+		if ts := s.tenants[q.tenant]; ts != nil && ts.admitted >= s.adm.TenantMaxQueries {
+			return false
+		}
+	}
 	return true
 }
 
 // admit moves a query past the admission controller: stamps its
 // queue-wait, registers its arrival timers, and hands its ready tasks to
-// the controller.
-func (s *Scheduler) admit(q *query) {
+// the controller. now is the caller's already-read clock.
+func (s *Scheduler) admit(q *query, now time.Duration) {
 	q.admitted = true
-	q.admitRel = s.now()
+	q.admitRel = now
 	s.nAdmitted++
 	s.memInUse += q.mem
+	ts := s.tenant(q.tenant)
+	ts.admitted++
+	ts.gRun.Set(int64(ts.admitted))
+	s.intakeShardOf(q.id).queued.Add(-1)
 	wait := q.admitRel - q.submitRel
 	s.hWaitUs.Observe(int64(wait / time.Microsecond))
 	if s.eng.Trace != nil {
@@ -752,12 +1100,11 @@ func (s *Scheduler) finishQuery(q *query) {
 	s.inflight--
 	s.nAdmitted--
 	s.memInUse -= q.mem
+	ts := s.tenant(q.tenant)
+	ts.admitted--
+	ts.gRun.Set(int64(ts.admitted))
 	s.gInflight.Set(int64(s.inflight))
-	s.mu.Lock()
-	for _, id := range q.ids {
-		delete(s.liveIDs, id)
-	}
-	s.mu.Unlock()
+	s.deregisterIDs(q)
 	if e.Trace != nil {
 		e.schedEvent("query-done", fmt.Sprintf(
 			"query %d: %d tasks in %v (queue wait %v)", q.id, len(q.ids), rep.Elapsed, rep.QueueWait))
@@ -769,15 +1116,55 @@ func (s *Scheduler) finishQuery(q *query) {
 		q.handle.settle(rep, nil)
 	}
 
-	// Head-of-line admission: wake queued queries in FIFO order until the
-	// head no longer fits, so the oldest waiter starts exactly when the
-	// budget frees.
-	for len(s.admitQ) > 0 && s.admits(s.admitQ[0]) {
-		next := s.admitQ[0]
-		s.admitQ = s.admitQ[1:]
-		s.gAdmitQ.Set(int64(len(s.admitQ)))
-		s.admit(next)
-	}
+	s.wakeAdmitQ()
+	putQuery(q)
+}
 
-	s.putQuery(q)
+// wakeAdmitQ admits queued queries that now fit. Without per-tenant
+// caps it is strict head-of-line FIFO: wake in order until the head no
+// longer fits, so the oldest waiter starts exactly when the budget
+// frees. With TenantMaxQueries set it becomes a fair-share scan — the
+// oldest *eligible* waiter is admitted, so a tenant sitting at its
+// quota cannot starve queries queued behind it. The scan restarts from
+// the head after every admission because admitting a degenerate empty
+// query can recursively finish it and mutate the queue.
+func (s *Scheduler) wakeAdmitQ() {
+	if len(s.admitQ) == 0 {
+		return
+	}
+	now := s.now()
+	if s.adm.TenantMaxQueries <= 0 {
+		for len(s.admitQ) > 0 && s.admits(s.admitQ[0]) {
+			next := s.admitQ[0]
+			s.admitQ = s.admitQ[1:]
+			s.gAdmitQ.Set(int64(len(s.admitQ)))
+			s.dequeued(next)
+			s.admit(next, now)
+		}
+		return
+	}
+	for {
+		i := 0
+		for ; i < len(s.admitQ); i++ {
+			if s.admits(s.admitQ[i]) {
+				break
+			}
+		}
+		if i == len(s.admitQ) {
+			return
+		}
+		next := s.admitQ[i]
+		s.admitQ = append(s.admitQ[:i], s.admitQ[i+1:]...)
+		s.gAdmitQ.Set(int64(len(s.admitQ)))
+		s.dequeued(next)
+		s.admit(next, now)
+	}
+}
+
+// dequeued updates tenant bookkeeping for a query leaving the admission
+// queue.
+func (s *Scheduler) dequeued(q *query) {
+	ts := s.tenant(q.tenant)
+	ts.waiting--
+	ts.gWait.Set(int64(ts.waiting))
 }

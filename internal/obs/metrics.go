@@ -159,6 +159,16 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	return s
 }
 
+// Label builds a per-entity metric name — "sched.tenant_waiting" plus
+// a tenant, say — as base.label, mapping the empty label to "default"
+// so the name stays well-formed.
+func Label(base, label string) string {
+	if label == "" {
+		label = "default"
+	}
+	return base + "." + label
+}
+
 // Registry is a named collection of metrics. Metric lookup takes a
 // mutex and is meant for setup paths; callers cache the returned
 // pointers and hit only the atomics afterwards. A nil *Registry hands

@@ -1,0 +1,92 @@
+package workload
+
+// Open-loop arrival processes for the serving harness. Both draw from a
+// seeded private rand.Rand, so a process is a pure function of its seed
+// and the virtual timeline it induces replays exactly — the determinism
+// the vclock experiments rely on. Open-loop means the driver never
+// waits for completions before the next arrival: past saturation, queue
+// depth (and shed counts) grow instead of the arrival rate degrading,
+// which is exactly the overload behaviour a closed loop hides.
+
+import (
+	"math/rand"
+	"time"
+)
+
+// ArrivalProcess draws successive interarrival gaps.
+type ArrivalProcess interface {
+	// Next returns the gap between the previous arrival and the next.
+	Next() time.Duration
+}
+
+// PoissonArrivals is a homogeneous Poisson process: exponentially
+// distributed gaps with mean 1/rate.
+type PoissonArrivals struct {
+	rng  *rand.Rand
+	mean float64 // mean gap in seconds
+}
+
+// NewPoisson returns a Poisson arrival process with the given mean
+// arrival rate in arrivals per (virtual) second.
+func NewPoisson(seed int64, ratePerSec float64) *PoissonArrivals {
+	if ratePerSec <= 0 {
+		ratePerSec = 1
+	}
+	return &PoissonArrivals{rng: rand.New(rand.NewSource(seed)), mean: 1 / ratePerSec}
+}
+
+// Next implements ArrivalProcess.
+func (p *PoissonArrivals) Next() time.Duration {
+	return time.Duration(p.rng.ExpFloat64() * p.mean * float64(time.Second))
+}
+
+// BurstyArrivals is a two-state Markov-modulated Poisson process: the
+// process alternates between a calm state and a burst state, each a
+// Poisson process at its own rate, with geometric sojourn times (one
+// state-transition draw per arrival). This is the standard minimal
+// model for flash-crowd traffic.
+type BurstyArrivals struct {
+	rng          *rand.Rand
+	calm, burst  float64 // mean gaps in seconds
+	enter, leave float64 // per-arrival transition probabilities
+	inBurst      bool
+}
+
+// NewBursty returns an MMPP-2 arrival process. calmRate and burstRate
+// are arrival rates per virtual second in the two states; pEnter and
+// pLeave are the per-arrival probabilities of switching calm→burst and
+// burst→calm.
+func NewBursty(seed int64, calmRate, burstRate, pEnter, pLeave float64) *BurstyArrivals {
+	if calmRate <= 0 {
+		calmRate = 1
+	}
+	if burstRate <= 0 {
+		burstRate = calmRate
+	}
+	return &BurstyArrivals{
+		rng:   rand.New(rand.NewSource(seed)),
+		calm:  1 / calmRate,
+		burst: 1 / burstRate,
+		enter: pEnter,
+		leave: pLeave,
+	}
+}
+
+// InBurst reports whether the process is currently in its burst state.
+func (b *BurstyArrivals) InBurst() bool { return b.inBurst }
+
+// Next implements ArrivalProcess.
+func (b *BurstyArrivals) Next() time.Duration {
+	if b.inBurst {
+		if b.rng.Float64() < b.leave {
+			b.inBurst = false
+		}
+	} else if b.rng.Float64() < b.enter {
+		b.inBurst = true
+	}
+	mean := b.calm
+	if b.inBurst {
+		mean = b.burst
+	}
+	return time.Duration(b.rng.ExpFloat64() * mean * float64(time.Second))
+}

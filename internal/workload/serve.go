@@ -1,0 +1,257 @@
+package workload
+
+// The open-loop serving harness: N tenants × per-tenant query
+// templates, driven by a seeded arrival process against a live
+// scheduler session. The driver is one clock-registered goroutine that
+// sleeps to each arrival instant, submits the drawn template under its
+// tenant, and reaps settled queries between arrivals without ever
+// blocking the arrival process — open-loop, so overload shows up as
+// queue depth and shed count, not as a quietly degraded arrival rate.
+//
+// Determinism: tenant/template draws and interarrival gaps come from
+// seeded private RNGs, submissions happen on one goroutine at exact
+// virtual instants, and every instantiation stamps fresh task IDs from
+// a monotonic counter, so the i-th submission carries the same IDs on
+// every run. Reaping — which races real completion signals — only
+// recycles plan-instance memory and decides when the driver calls Wait
+// on an already-settled handle; it cannot move a single virtual-time
+// observable. See DESIGN.md §13.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"xprs/internal/cost"
+	"xprs/internal/exec"
+	"xprs/internal/expr"
+	"xprs/internal/plan"
+	"xprs/internal/storage"
+	"xprs/internal/vclock"
+)
+
+// TenantMix sizes the serving catalog: Tenants × Templates selection
+// templates over relations of Tuples rows each.
+type TenantMix struct {
+	Tenants   int
+	Templates int
+	Tuples    int64
+}
+
+// template is one prototype query: a backing relation plus a pool of
+// plan instances. The scheduler keys per-query runtime state (temps,
+// hash tables, compiled fragments) by *plan.Fragment, so two in-flight
+// executions of one template must not share an instance; instances
+// recycle only after their query settles.
+type template struct {
+	rel  *storage.Relation
+	hi   int32 // filter upper bound (the relation's row count)
+	free []*instance
+}
+
+// instance is one submittable copy of a template's plan.
+type instance struct {
+	specs []exec.TaskSpec
+	base  int // first task ID currently stamped on the specs
+	tmpl  *template
+}
+
+// Catalog is a built tenant/template universe plus the global task-ID
+// allocator for instances.
+type Catalog struct {
+	params  cost.Params
+	tenants []string
+	temps   [][]*template // [tenant][template]
+	nextID  int
+}
+
+// BuildTenantCatalog builds the mix's relations in the store (named
+// t<tenant>_q<template>) and returns the catalog. Template scan rates
+// alternate between the IO-bound and CPU-bound §3 bands so the serving
+// mix exercises both queue classes.
+func BuildTenantCatalog(st *storage.Store, p cost.Params, mix TenantMix, seed int64) (*Catalog, error) {
+	if mix.Tenants < 1 || mix.Templates < 1 {
+		return nil, fmt.Errorf("workload: tenant mix needs >= 1 tenant and template")
+	}
+	tuples := mix.Tuples
+	if tuples < 1 {
+		tuples = 512
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := &Catalog{params: p}
+	for t := 0; t < mix.Tenants; t++ {
+		c.tenants = append(c.tenants, fmt.Sprintf("t%02d", t))
+		row := make([]*template, 0, mix.Templates)
+		for j := 0; j < mix.Templates; j++ {
+			var rate float64
+			if (t+j)%2 == 0 {
+				lo, hi := IOBound.RateRange()
+				rate = lo + rng.Float64()*(hi-lo)
+			} else {
+				lo, hi := CPUBound.RateRange()
+				rate = lo + rng.Float64()*(hi-lo)
+			}
+			name := fmt.Sprintf("t%02d_q%02d", t, j)
+			rel, err := BuildScanRelation(st, p, name, rate, tuples)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, &template{rel: rel, hi: int32(tuples)})
+		}
+		c.temps = append(c.temps, row)
+	}
+	return c, nil
+}
+
+// Tenants returns the catalog's tenant names.
+func (c *Catalog) Tenants() []string { return c.tenants }
+
+// instantiate checks an instance of the template out of its pool —
+// building one if none is free — and stamps it with fresh task IDs.
+// Fresh IDs on every checkout keep the i-th submission's IDs a pure
+// function of i, whether or not pooling hit; pooled reuse is safe
+// because core.Task is immutable during execution and the scheduler
+// clears all fragment-keyed state when a query settles.
+func (c *Catalog) instantiate(t *template) (*instance, error) {
+	if n := len(t.free); n > 0 {
+		inst := t.free[n-1]
+		t.free = t.free[:n-1]
+		delta := c.nextID - inst.base
+		for i := range inst.specs {
+			sp := &inst.specs[i]
+			sp.Task.ID += delta
+			for d := range sp.DependsOn {
+				sp.DependsOn[d] += delta
+			}
+		}
+		inst.base = c.nextID
+		c.nextID += len(inst.specs)
+		return inst, nil
+	}
+	root := &plan.SeqScan{Rel: t.rel, Filter: expr.ColRange(0, "a", 0, t.hi)}
+	g, err := plan.Decompose(root)
+	if err != nil {
+		return nil, err
+	}
+	ests, err := cost.EstimateGraph(c.params, g)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := exec.QueryTasks(g, ests, c.nextID)
+	if err != nil {
+		return nil, err
+	}
+	inst := &instance{specs: specs, base: c.nextID, tmpl: t}
+	c.nextID += len(specs)
+	return inst, nil
+}
+
+// release returns a settled instance to its template's pool.
+func (inst *instance) release() { inst.tmpl.free = append(inst.tmpl.free, inst) }
+
+// ServeStats is the outcome of one open-loop run. All durations are
+// virtual time.
+type ServeStats struct {
+	Submitted int `json:"submitted"`
+	Completed int `json:"completed"`
+	Shed      int `json:"shed"`
+
+	Response  LatencySummary `json:"response"`
+	QueueWait LatencySummary `json:"queue_wait"`
+
+	// Makespan is first submission to last completion; Throughput is
+	// completed queries per virtual second of makespan.
+	Makespan   time.Duration `json:"makespan_ns"`
+	Throughput float64       `json:"throughput_qps"`
+}
+
+// RunOpenLoop submits `sessions` queries to the scheduler, drawing the
+// tenant and template of each uniformly and pacing arrivals with arr.
+// It must run on a clock-registered goroutine inside a live session; it
+// waits for every outstanding query before returning, but never blocks
+// between arrivals. Shed queries count in Shed and contribute no
+// latency samples; any other query failure aborts the run.
+func RunOpenLoop(clk vclock.Clock, sched *exec.Scheduler, cat *Catalog, arr ArrivalProcess, sessions int, seed int64) (*ServeStats, error) {
+	if sessions < 1 {
+		return nil, fmt.Errorf("workload: open loop needs >= 1 session")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type outstanding struct {
+		inst   *instance
+		handle *exec.QueryHandle
+	}
+	var live []outstanding
+	stats := &ServeStats{}
+	responses := make([]time.Duration, 0, sessions)
+	waits := make([]time.Duration, 0, sessions)
+	var lastEnd time.Duration
+
+	reap := func(o outstanding) error {
+		rep, err := o.handle.Wait()
+		o.inst.release()
+		if err != nil {
+			var shed *exec.ShedError
+			if errors.As(err, &shed) {
+				stats.Shed++
+				return nil
+			}
+			return err
+		}
+		stats.Completed++
+		responses = append(responses, rep.Elapsed)
+		waits = append(waits, rep.QueueWait)
+		if end := rep.SubmittedAt + rep.Elapsed; end > lastEnd {
+			lastEnd = end
+		}
+		return nil
+	}
+
+	next := clk.Now()
+	for i := 0; i < sessions; i++ {
+		if next > clk.Now() {
+			clk.SleepUntil(next)
+		}
+		ten := rng.Intn(len(cat.temps))
+		tmpl := cat.temps[ten][rng.Intn(len(cat.temps[ten]))]
+		inst, err := cat.instantiate(tmpl)
+		if err != nil {
+			return nil, err
+		}
+		h, err := sched.SubmitTenant(cat.tenants[ten], inst.specs)
+		if err != nil {
+			return nil, err
+		}
+		stats.Submitted++
+		live = append(live, outstanding{inst: inst, handle: h})
+		// Reap settled queries without blocking the arrival process:
+		// Done is a non-blocking peek, and Wait on a settled handle
+		// returns immediately. Compact the live list in place.
+		kept := live[:0]
+		for _, o := range live {
+			if !o.handle.Done() {
+				kept = append(kept, o)
+				continue
+			}
+			if err := reap(o); err != nil {
+				return nil, err
+			}
+		}
+		live = kept
+		next += arr.Next()
+	}
+	// Arrivals done: wait out the tail in submission order.
+	for _, o := range live {
+		if err := reap(o); err != nil {
+			return nil, err
+		}
+	}
+
+	stats.Response = Summarize(responses)
+	stats.QueueWait = Summarize(waits)
+	stats.Makespan = lastEnd
+	if lastEnd > 0 {
+		stats.Throughput = float64(stats.Completed) / lastEnd.Seconds()
+	}
+	return stats, nil
+}

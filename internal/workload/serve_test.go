@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"xprs/internal/core"
+	"xprs/internal/cost"
+	"xprs/internal/diskmodel"
+	"xprs/internal/exec"
+	"xprs/internal/storage"
+	"xprs/internal/vclock"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	ds := make([]time.Duration, 0, 12)
+	for i := 1; i <= 12; i++ {
+		ds = append(ds, time.Duration(i)*time.Second)
+	}
+	cases := []struct {
+		p    int
+		want time.Duration
+	}{
+		{50, 6 * time.Second},
+		{95, 12 * time.Second}, // ceil(0.95*12)=12th value, not the 11th
+		{100, 12 * time.Second},
+		{1, 1 * time.Second},
+	}
+	for _, c := range cases {
+		if got := Percentile(ds, c.p); got != c.want {
+			t.Errorf("p%d = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 95) != 0 {
+		t.Error("empty sample should report 0")
+	}
+	// Small-sample edges, carried over from the stream harness's test
+	// when its local percentile moved here.
+	if got := Percentile([]time.Duration{5}, 95); got != 5 {
+		t.Errorf("singleton p95 = %v, want 5", got)
+	}
+	if got := Percentile([]time.Duration{1, 2}, 50); got != 1 {
+		t.Errorf("n=2 p50 = %v, want 1", got)
+	}
+	if got := Percentile([]time.Duration{1, 2}, 95); got != 2 {
+		t.Errorf("n=2 p95 = %v, want 2", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ds := []time.Duration{3 * time.Second, 1 * time.Second, 2 * time.Second}
+	s := Summarize(ds)
+	if s.Count != 3 || s.Mean != 2*time.Second || s.P50 != 2*time.Second || s.Max != 3*time.Second {
+		t.Fatalf("summary %+v", s)
+	}
+	if !reflect.DeepEqual(Summarize(nil), LatencySummary{}) {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	a := NewPoisson(7, 10) // mean gap 100ms
+	b := NewPoisson(7, 10)
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		ga, gb := a.Next(), b.Next()
+		if ga != gb {
+			t.Fatalf("draw %d: same seed diverged (%v vs %v)", i, ga, gb)
+		}
+		if ga < 0 {
+			t.Fatalf("negative gap %v", ga)
+		}
+		sum += ga
+	}
+	mean := sum / n
+	if mean < 80*time.Millisecond || mean > 120*time.Millisecond {
+		t.Fatalf("empirical mean gap %v, want ~100ms", mean)
+	}
+}
+
+func TestBurstyArrivals(t *testing.T) {
+	a := NewBursty(3, 5, 200, 0.05, 0.2)
+	b := NewBursty(3, 5, 200, 0.05, 0.2)
+	sawBurst, sawCalm := false, false
+	var sum time.Duration
+	const n = 5000
+	for i := 0; i < n; i++ {
+		ga, gb := a.Next(), b.Next()
+		if ga != gb {
+			t.Fatalf("draw %d: same seed diverged", i)
+		}
+		sum += ga
+		if a.InBurst() {
+			sawBurst = true
+		} else {
+			sawCalm = true
+		}
+	}
+	if !sawBurst || !sawCalm {
+		t.Fatalf("process never modulated: burst=%v calm=%v", sawBurst, sawCalm)
+	}
+	// The MMPP mean gap sits strictly between the burst and calm means.
+	mean := sum / n
+	if mean <= 5*time.Millisecond || mean >= 200*time.Millisecond {
+		t.Fatalf("empirical mean gap %v outside (5ms, 200ms)", mean)
+	}
+}
+
+// openLoopRun is one fully self-contained serving session for tests:
+// its own virtual clock, store, engine, catalog, and scheduler.
+func openLoopRun(t *testing.T, shards int, adm exec.AdmissionConfig, sessions int, rate float64) *ServeStats {
+	t.Helper()
+	v := vclock.NewVirtual()
+	disks := diskmodel.New(v, diskmodel.DefaultConfig())
+	st := storage.NewStore(v, disks, 0)
+	p := cost.DefaultParams(diskmodel.DefaultConfig(), 8)
+	eng := exec.New(v, st, p)
+	cat, err := BuildTenantCatalog(st, p, TenantMix{Tenants: 3, Templates: 2, Tuples: 300}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adm.IntakeShards = shards
+	var stats *ServeStats
+	v.Run(func() {
+		sched := exec.NewScheduler(eng, core.InterAdj, core.Options{}, adm)
+		defer sched.Drain()
+		stats, err = RunOpenLoop(v, sched, cat, NewPoisson(11, rate), sessions, 13)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+func TestRunOpenLoopSmoke(t *testing.T) {
+	stats := openLoopRun(t, 0, exec.AdmissionConfig{}, 40, 2)
+	if stats.Submitted != 40 || stats.Completed != 40 || stats.Shed != 0 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if stats.Response.Count != 40 || stats.Response.P95 <= 0 || stats.Makespan <= 0 || stats.Throughput <= 0 {
+		t.Fatalf("latency stats %+v", stats)
+	}
+}
+
+// TestRunOpenLoopDeterministic is the serving determinism invariant:
+// identical seeds give byte-identical virtual stats run to run, and the
+// intake shard count — including the serial-intake ablation at 1 — is
+// result-transparent.
+func TestRunOpenLoopDeterministic(t *testing.T) {
+	base := openLoopRun(t, 0, exec.AdmissionConfig{}, 60, 4)
+	again := openLoopRun(t, 0, exec.AdmissionConfig{}, 60, 4)
+	if !reflect.DeepEqual(base, again) {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", base, again)
+	}
+	serial := openLoopRun(t, 1, exec.AdmissionConfig{}, 60, 4)
+	wide := openLoopRun(t, 16, exec.AdmissionConfig{}, 60, 4)
+	if !reflect.DeepEqual(base, serial) || !reflect.DeepEqual(base, wide) {
+		t.Fatalf("shard count visible in results:\nauto:   %+v\nserial: %+v\nwide:   %+v", base, serial, wide)
+	}
+}
+
+// TestRunOpenLoopSheds drives an overloaded mix through a tight
+// admission config: every query either completes or sheds, and the
+// session survives to serve the full arrival schedule.
+func TestRunOpenLoopSheds(t *testing.T) {
+	adm := exec.AdmissionConfig{MaxQueries: 2, MaxQueued: 3}
+	stats := openLoopRun(t, 0, adm, 80, 50)
+	if stats.Submitted != 80 {
+		t.Fatalf("submitted %d", stats.Submitted)
+	}
+	if stats.Completed+stats.Shed != 80 {
+		t.Fatalf("completed %d + shed %d != 80", stats.Completed, stats.Shed)
+	}
+	if stats.Shed == 0 {
+		t.Fatal("overloaded run shed nothing; threshold not exercised")
+	}
+	if stats.Completed == 0 {
+		t.Fatal("overloaded run completed nothing")
+	}
+	// Shed queries contribute no latency samples.
+	if stats.Response.Count != stats.Completed {
+		t.Fatalf("response samples %d != completed %d", stats.Response.Count, stats.Completed)
+	}
+}

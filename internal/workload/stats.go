@@ -1,0 +1,58 @@
+package workload
+
+// Latency summarization shared by the facade's stream experiment and
+// the open-loop serve driver: one definition of the nearest-rank
+// percentile, one place to test it.
+
+import (
+	"cmp"
+	"slices"
+	"time"
+)
+
+// Percentile returns the nearest-rank p-th percentile of an ascending
+// slice: the smallest element with at least p% of the sample at or below
+// it. Unlike the index (n-1)*p/100, this does not under-report for small
+// n (for n=12, p95 is the 12th value, not the 11th).
+func Percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100 // ceil(p*n/100)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// LatencySummary aggregates one latency sample.
+type LatencySummary struct {
+	Count int           `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Summarize sorts the sample in place (ascending) and reports its mean,
+// median, nearest-rank p95, and maximum.
+func Summarize(ds []time.Duration) LatencySummary {
+	if len(ds) == 0 {
+		return LatencySummary{}
+	}
+	slices.SortFunc(ds, func(a, b time.Duration) int { return cmp.Compare(a, b) })
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return LatencySummary{
+		Count: len(ds),
+		Mean:  sum / time.Duration(len(ds)),
+		P50:   Percentile(ds, 50),
+		P95:   Percentile(ds, 95),
+		Max:   ds[len(ds)-1],
+	}
+}

@@ -1,0 +1,121 @@
+package xprs
+
+// The production-serving experiment behind `xprsbench -fig serve`: an
+// open-loop tenant mix (internal/workload) driven through a live
+// scheduler session with per-tenant quotas and load shedding. This file
+// is the virtual-time harness; servebench.go wraps it in wall-clock
+// measurement for BENCH_serve.json.
+
+import (
+	"fmt"
+	"strings"
+
+	"xprs/internal/workload"
+)
+
+// Serving result types, re-exported from the workload package so
+// callers of the facade never import internals.
+type (
+	// ServeStats is the outcome of one open-loop serving run, in
+	// virtual time.
+	ServeStats = workload.ServeStats
+	// LatencySummary aggregates one latency sample.
+	LatencySummary = workload.LatencySummary
+)
+
+// ServeOptions sizes one open-loop serving run.
+type ServeOptions struct {
+	// Sessions is the number of queries submitted.
+	Sessions int
+	// Tenants and Templates size the catalog (Tenants × Templates
+	// selection templates); Tuples is each template relation's rows.
+	Tenants   int
+	Templates int
+	Tuples    int64
+	// Rate is the mean arrival rate in queries per virtual second.
+	Rate float64
+	// Bursty switches the Poisson arrivals to the two-state MMPP
+	// (bursts at 8× Rate).
+	Bursty bool
+	// Adm applies admission limits: quotas, MaxQueued shedding.
+	Adm Admission
+	// Seed makes the run a pure function of its inputs.
+	Seed int64
+}
+
+// withDefaults fills unset fields with the experiment's defaults.
+func (o ServeOptions) withDefaults() ServeOptions {
+	if o.Sessions <= 0 {
+		o.Sessions = 1000
+	}
+	if o.Tenants <= 0 {
+		o.Tenants = 4
+	}
+	if o.Templates <= 0 {
+		o.Templates = 2
+	}
+	if o.Tuples <= 0 {
+		o.Tuples = 300
+	}
+	if o.Rate <= 0 {
+		o.Rate = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1992
+	}
+	return o
+}
+
+// RunServe builds the tenant catalog on a fresh system and drives the
+// open-loop arrival schedule through one scheduler session. All
+// reported statistics are virtual time, so for a fixed cfg and options
+// the result is byte-identical at any GOMAXPROCS and any intake shard
+// count.
+func RunServe(cfg Config, o ServeOptions) (*ServeStats, error) {
+	o = o.withDefaults()
+	s := New(cfg)
+	cat, err := workload.BuildTenantCatalog(s.store, s.params, workload.TenantMix{
+		Tenants:   o.Tenants,
+		Templates: o.Templates,
+		Tuples:    o.Tuples,
+	}, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var arr workload.ArrivalProcess
+	if o.Bursty {
+		arr = workload.NewBursty(o.Seed+1, o.Rate, o.Rate*8, 0.05, 0.25)
+	} else {
+		arr = workload.NewPoisson(o.Seed+1, o.Rate)
+	}
+	var stats *ServeStats
+	err = s.Serve(InterAdj, SchedOptions{}, o.Adm, func(sc *Scheduler) error {
+		var err error
+		stats, err = workload.RunOpenLoop(s.clock, sc.inner, cat, arr, o.Sessions, o.Seed+2)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// FormatServe renders one serving run.
+func FormatServe(o ServeOptions, st *ServeStats) string {
+	o = o.withDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Open-loop serving: %d sessions, %d tenants × %d templates, %.1f q/s",
+		o.Sessions, o.Tenants, o.Templates, o.Rate)
+	if o.Bursty {
+		b.WriteString(" (bursty)")
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "  completed %d, shed %d; virtual throughput %.2f q/s over %.1fs makespan\n",
+		st.Completed, st.Shed, st.Throughput, st.Makespan.Seconds())
+	fmt.Fprintf(&b, "  response  mean %.2fs  p50 %.2fs  p95 %.2fs  max %.2fs\n",
+		st.Response.Mean.Seconds(), st.Response.P50.Seconds(),
+		st.Response.P95.Seconds(), st.Response.Max.Seconds())
+	fmt.Fprintf(&b, "  queue wait mean %.2fs  p95 %.2fs\n",
+		st.QueueWait.Mean.Seconds(), st.QueueWait.P95.Seconds())
+	return b.String()
+}

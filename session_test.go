@@ -226,33 +226,6 @@ func TestSubmitTaskIDCollision(t *testing.T) {
 	}
 }
 
-// TestPercentileNearestRank pins the satellite fix: the old index
-// (n-1)*95/100 under-reported small samples (for n=12 it returned the
-// 11th value); nearest-rank returns ceil(p*n/100).
-func TestPercentileNearestRank(t *testing.T) {
-	ds := func(ns ...int) []time.Duration {
-		out := make([]time.Duration, len(ns))
-		for i, n := range ns {
-			out[i] = time.Duration(n)
-		}
-		return out
-	}
-	cases := []struct {
-		sorted []time.Duration
-		p      int
-		want   time.Duration
-	}{
-		{nil, 95, 0},
-		{ds(5), 95, 5},
-		{ds(1, 2), 50, 1},
-		{ds(1, 2), 95, 2},
-		{ds(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12), 95, 12}, // old formula gave 11
-		{ds(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 90, 9},
-		{ds(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 100, 10},
-	}
-	for _, c := range cases {
-		if got := percentile(c.sorted, c.p); got != c.want {
-			t.Fatalf("percentile(%v, %d) = %v; want %v", c.sorted, c.p, got, c.want)
-		}
-	}
-}
+// Nearest-rank percentile behaviour (including the n=12 p95 fix) is
+// pinned in internal/workload's TestPercentileNearestRank — the one
+// definition both the stream and serving harnesses now share.

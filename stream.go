@@ -1,10 +1,8 @@
 package xprs
 
 import (
-	"cmp"
 	"fmt"
 	"math/rand"
-	"slices"
 	"strings"
 	"time"
 
@@ -124,48 +122,25 @@ func RunStream(cfg Config, seed int64, n int, maxGap time.Duration, opts SchedOp
 		if err != nil {
 			return nil, err
 		}
+		// Aggregation (mean, nearest-rank percentiles) is shared with the
+		// open-loop serving harness: one definition of p95 in the tree.
 		row := StreamRow{Policy: pol}
 		responses := make([]time.Duration, 0, len(reps))
 		waits := make([]time.Duration, 0, len(reps))
-		var rsum, wsum time.Duration
 		for _, rep := range reps {
 			responses = append(responses, rep.Elapsed)
-			rsum += rep.Elapsed
 			waits = append(waits, rep.QueueWait)
-			wsum += rep.QueueWait
 			if end := rep.SubmittedAt + rep.Elapsed; end > row.Elapsed {
 				row.Elapsed = end
 			}
 		}
-		slices.SortFunc(responses, func(a, b time.Duration) int { return cmp.Compare(a, b) })
-		slices.SortFunc(waits, func(a, b time.Duration) int { return cmp.Compare(a, b) })
-		if len(responses) > 0 {
-			row.MeanResponse = rsum / time.Duration(len(responses))
-			row.P95Response = percentile(responses, 95)
-			row.MeanQueueWait = wsum / time.Duration(len(waits))
-			row.P95QueueWait = percentile(waits, 95)
-		}
+		resp := workload.Summarize(responses)
+		wait := workload.Summarize(waits)
+		row.MeanResponse, row.P95Response = resp.Mean, resp.P95
+		row.MeanQueueWait, row.P95QueueWait = wait.Mean, wait.P95
 		rows = append(rows, row)
 	}
 	return rows, nil
-}
-
-// percentile returns the nearest-rank p-th percentile of an ascending
-// slice: the smallest element with at least p% of the sample at or below
-// it. Unlike the index (n-1)*p/100, this does not under-report for small
-// n (for n=12, p95 is the 12th value, not the 11th).
-func percentile(sorted []time.Duration, p int) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	rank := (p*len(sorted) + 99) / 100 // ceil(p*n/100)
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > len(sorted) {
-		rank = len(sorted)
-	}
-	return sorted[rank-1]
 }
 
 // FormatStream renders the stream comparison.

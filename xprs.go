@@ -93,6 +93,9 @@ type (
 	// QueryHandle is the ticket returned by Scheduler.Submit; Wait blocks
 	// until the query's Report is ready.
 	QueryHandle = exec.QueryHandle
+	// ShedError is the typed rejection a query's Wait returns when the
+	// admission queue is past Admission.MaxQueued (check with errors.As).
+	ShedError = exec.ShedError
 )
 
 // Scheduling policies (§3's three algorithms).
@@ -481,6 +484,17 @@ type Scheduler struct {
 func (sc *Scheduler) Submit(specs []TaskSpec) (*QueryHandle, error) {
 	return sc.inner.Submit(specs)
 }
+
+// SubmitTenant is Submit on behalf of a named tenant, the unit of
+// Admission.TenantMaxQueries fair-share accounting and of the
+// per-tenant serving metrics.
+func (sc *Scheduler) SubmitTenant(tenant string, specs []TaskSpec) (*QueryHandle, error) {
+	return sc.inner.SubmitTenant(tenant, specs)
+}
+
+// Go spawns fn on a clock-registered goroutine of the session, so
+// concurrent drivers can submit and wait in virtual time.
+func (sc *Scheduler) Go(fn func()) { sc.sys.clock.Go(fn) }
 
 // Now returns the session's current virtual time.
 func (sc *Scheduler) Now() time.Duration { return sc.sys.clock.Now() }
