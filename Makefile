@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-matrix bench vet lint allocgate servegate all
+.PHONY: build test race race-matrix bench vet lint allocgate servegate obsgate all
 
 all: build lint test
 
@@ -42,3 +42,9 @@ allocgate:
 # allocs/op budget (see TestIntakeAllocGate in sched_bench_test.go).
 servegate:
 	XPRS_ALLOC_GATE=1 $(GO) test -run TestIntakeAllocGate -v ./internal/exec
+
+# Observability gate: the same fast path with sampled tracing and
+# telemetry live must stay under its allocs/op budget — "observation is
+# free" priced per submit (see TestObsAllocGate in sched_bench_test.go).
+obsgate:
+	XPRS_ALLOC_GATE=1 $(GO) test -run TestObsAllocGate -v ./internal/exec

@@ -45,6 +45,7 @@ func main() {
 	streamN := flag.Int("streamn", 16, "number of tasks in the stream benchmark")
 	streamMaxQ := flag.Int("streammaxq", 2, "admission concurrent-query cap for the limited stream run")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of one observed pipeline query to this file (with -fig pipeline)")
+	traceBudget := flag.Int("tracebudget", 65536, "span-store capacity for -trace: the tracer keeps the most recent N spans and counts the rest as dropped (0 = unbounded)")
 	serveOut := flag.String("serveout", "BENCH_serve.json", "output file for the serving benchmark")
 	serveSessions := flag.String("servesessions", "", "comma-separated session counts for the serving grid (default 1000,10000,100000)")
 	serveProcs := flag.String("serveprocs", "", "comma-separated GOMAXPROCS values for the serving benchmark (default 1,4,8)")
@@ -160,6 +161,7 @@ func main() {
 		// not diluted by trace appends.
 		ocfg := cfg
 		ocfg.Observe = true
+		ocfg.TraceBudget = *traceBudget
 		osys, err := xprs.NewPipelineBenchSystem(ocfg)
 		if err != nil {
 			return err
@@ -212,7 +214,9 @@ func main() {
 			if err := f.Close(); err != nil {
 				return err
 			}
-			fmt.Printf("pipeline: Chrome trace -> %s\n", *trace)
+			tr := osys.Observer().Trace
+			fmt.Printf("pipeline: Chrome trace -> %s (%d spans kept, %d dropped by -tracebudget %d)\n",
+				*trace, tr.Len(), tr.Dropped(), *traceBudget)
 		}
 		data, err := json.MarshalIndent(payload, "", "  ")
 		if err != nil {
@@ -281,11 +285,24 @@ func main() {
 			fmt.Printf("serve: intake %s @ GOMAXPROCS %d: %6.0f ns/op, %9.0f submits/s\n",
 				kind, row.Procs, row.NsPerOp, row.QPS)
 		}
+		if ob := res.Observed; ob != nil {
+			fmt.Printf("serve: observed %d sessions (1-in-%d sampling, %d-span budget): %d spans kept, %d dropped, stats match: %v\n",
+				ob.Sessions, ob.SampleOneIn, ob.SpanBudget, ob.SpansKept, ob.SpansDropped, ob.StatsMatch)
+		}
 		if res.IntakeSpeedup4 > 0 {
 			fmt.Printf("serve: sharded intake speedup GOMAXPROCS 4 vs 1: %.2fx -> %s\n",
 				res.IntakeSpeedup4, *serveOut)
 		} else {
 			fmt.Printf("serve: wrote %s (speedup needs GOMAXPROCS 1 and 4 in -serveprocs)\n", *serveOut)
+		}
+		// The largest run's timeline and per-tenant SLO view — the same
+		// rendering xprstop uses against the exported JSON.
+		if n := len(res.Grid); n > 0 {
+			last := res.Grid[n-1]
+			fmt.Print(xprs.FormatServe(xprs.ServeOptions{
+				Sessions: last.Sessions, Tenants: res.Tenants,
+				Templates: res.Templates, Rate: res.Rate,
+			}, last.Stats))
 		}
 		return nil
 	})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 	"strings"
+	"time"
 
 	"xprs/internal/diskmodel"
 )
@@ -66,5 +67,21 @@ func FormatAnalyze(res *OptResult, rep *Report) string {
 			rep.Metrics.Get("exec.slaves_spawned"),
 			rep.Metrics.Get("exec.repartitions"))
 	}
+	// Latency quantiles come straight off the histogram snapshots —
+	// bucket-upper-bound estimates filled in at snapshot time, so no
+	// per-sample state is retained or recomputed here.
+	if h, ok := rep.Metrics.Histograms["exec.task_micros"]; ok && h.Count > 0 {
+		fmt.Fprintf(&b, "Task latency: p50 %s p95 %s p99 %s (n=%d)\n",
+			microsDur(h.P50), microsDur(h.P95), microsDur(h.P99), h.Count)
+	}
+	if h, ok := rep.Metrics.Histograms["sched.queue_wait_micros"]; ok && h.Count > 0 {
+		fmt.Fprintf(&b, "Queue wait: p50 %s p95 %s p99 %s (n=%d)\n",
+			microsDur(h.P50), microsDur(h.P95), microsDur(h.P99), h.Count)
+	}
 	return b.String()
+}
+
+// microsDur renders a microsecond quantity as a duration string.
+func microsDur(us int64) time.Duration {
+	return time.Duration(us) * time.Microsecond
 }

@@ -159,7 +159,7 @@ func (d *mergeDriver) repartition(remaining []report, degree int) ([]assignment,
 		}
 		return 0
 	})
-	if d.fr.eng.Trace != nil {
+	if d.fr.tracing() {
 		d.fr.traceInstant("protocol", "interval-redeal", fmt.Sprintf(
 			"%d remaining merge-key intervals split on left-input quantiles over %d slaves",
 			len(all), degree))

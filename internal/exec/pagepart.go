@@ -296,7 +296,7 @@ func (d *pageDriver) repartition(remaining []report, degree int) ([]assignment, 
 	}
 	m := d.maxFrontier(olds)
 	np := d.src.npages()
-	if d.fr != nil && d.fr.eng.Trace != nil {
+	if d.fr != nil && d.fr.tracing() {
 		d.fr.traceInstant("protocol", "maxpage", fmt.Sprintf(
 			"maxpage=%d of %d pages: old slaves finish their strides below it, pages above re-striped mod %d",
 			m, np, degree))

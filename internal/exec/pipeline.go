@@ -95,6 +95,10 @@ type fragRun struct {
 
 	// obsTid is the fragment's trace lane (0 when tracing is off).
 	obsTid int
+	// traced carries the owning query's head-based sampling decision:
+	// false suppresses every span and protocol event this fragment (and
+	// its slaves) would emit. Set by the scheduler at task start.
+	traced bool
 	// Always-on execution counters behind FragStat: pure atomic adds
 	// that never touch the clock, so they cannot perturb determinism.
 	statTuplesIn  atomic.Int64
@@ -102,9 +106,15 @@ type fragRun struct {
 	statBatches   atomic.Int64
 }
 
+// tracing reports whether this fragment's events should be emitted:
+// tracing is on and the owning query was sampled.
+func (fr *fragRun) tracing() bool {
+	return fr.eng.Trace != nil && fr.traced
+}
+
 // traceInstant records a protocol event on the fragment's lane; callers
-// guard with `if fr.eng.Trace != nil` to skip detail formatting when
-// tracing is off.
+// guard with `if fr.tracing()` to skip detail formatting when tracing
+// is off or the query is unsampled.
 func (fr *fragRun) traceInstant(cat, name, detail string) {
 	fr.eng.Trace.Instant(fr.eng.now(), obs.PidTasks, fr.obsTid, cat, name, detail)
 }

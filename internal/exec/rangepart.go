@@ -75,7 +75,7 @@ func (d *rangeDriver) repartition(remaining []report, degree int) ([]assignment,
 			}
 		}
 	}
-	if d.fr.eng.Trace != nil {
+	if d.fr.tracing() {
 		d.fr.traceInstant("protocol", "interval-redeal", fmt.Sprintf(
 			"%d remaining key intervals merged and redealt over %d slaves on index quantiles",
 			len(all), degree))

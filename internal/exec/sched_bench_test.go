@@ -16,6 +16,7 @@ import (
 	"xprs/internal/core"
 	"xprs/internal/cost"
 	"xprs/internal/diskmodel"
+	"xprs/internal/obs"
 	"xprs/internal/storage"
 	"xprs/internal/vclock"
 )
@@ -125,6 +126,63 @@ func TestIntakeAllocGate(t *testing.T) {
 	if r.AllocsPerOp() > intakeAllocBudget {
 		t.Fatalf("Submit fast path allocates %d allocs/op, budget is %d — an allocation regression crept into intake",
 			r.AllocsPerOp(), intakeAllocBudget)
+	}
+}
+
+// benchSchedulerObserved is benchScheduler with the observer attached
+// the way the serving path runs it: a budget-bounded tracer, a metrics
+// registry, and 1-in-16 head sampling. This is the "observation is
+// free" price list — what turning telemetry on costs per Submit.
+func benchSchedulerObserved(b *testing.B) *Scheduler {
+	b.Helper()
+	clk := vclock.NewReal(1)
+	dcfg := diskmodel.DefaultConfig()
+	st := storage.NewStore(clk, diskmodel.New(clk, dcfg), 0)
+	eng := New(clk, st, cost.DefaultParams(dcfg, runtime.GOMAXPROCS(0)))
+	eng.Trace = obs.NewTracerBudget(4096)
+	eng.Metrics = obs.NewRegistry()
+	sched := NewScheduler(eng, core.InterAdj, core.Options{}, AdmissionConfig{
+		TraceSampleOneIn: 16,
+		TraceSampleSeed:  1992,
+	})
+	b.Cleanup(func() {
+		if err := sched.Drain(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	return sched
+}
+
+// BenchmarkSchedulerSubmitObserved prices the same fast path with
+// sampled tracing and metrics live — the observability overhead gate's
+// benchmark.
+func BenchmarkSchedulerSubmitObserved(b *testing.B) {
+	sched := benchSchedulerObserved(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	submitLoop(b, sched, b.N)
+}
+
+// obsAllocBudget is the CI allocation gate for the observed Submit fast
+// path: the unobserved floor plus slack for the per-window telemetry
+// aggregates (series windows, histogram buckets, metric interning) that
+// amortize across submits. What it catches is per-submit span or label
+// allocation sneaking into the hot path — that alone would blow the
+// budget immediately.
+const obsAllocBudget = intakeAllocBudget + 6
+
+// TestObsAllocGate enforces obsAllocBudget. Skipped unless
+// XPRS_ALLOC_GATE is set (CI runs it via `make obsgate`).
+func TestObsAllocGate(t *testing.T) {
+	if os.Getenv("XPRS_ALLOC_GATE") == "" {
+		t.Skip("set XPRS_ALLOC_GATE=1 to run the allocation gate")
+	}
+	r := testing.Benchmark(BenchmarkSchedulerSubmitObserved)
+	t.Logf("observed intake: %d allocs/op, %d B/op, %d ns/op (budget %d allocs/op)",
+		r.AllocsPerOp(), r.AllocedBytesPerOp(), r.NsPerOp(), obsAllocBudget)
+	if r.AllocsPerOp() > obsAllocBudget {
+		t.Fatalf("observed Submit fast path allocates %d allocs/op, budget is %d — sampled tracing or telemetry started allocating per submit",
+			r.AllocsPerOp(), obsAllocBudget)
 	}
 }
 

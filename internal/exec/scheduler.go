@@ -66,6 +66,30 @@ type AdmissionConfig struct {
 	// count is a pure contention knob: results are byte-identical at
 	// any value, including 1 (the serial-intake ablation).
 	IntakeShards int
+	// TraceSampleOneIn enables head-based trace sampling on an observed
+	// session: one in N queries (decided at submission from a seeded
+	// hash of tenant and query ID, see obs.Sampler) carries spans,
+	// scheduler instants and a per-query metrics snapshot; the rest run
+	// with tracing suppressed. 0 or 1 traces every query. Sampling is
+	// deterministic: qids are intake order, so the sampled set is
+	// byte-identical across reruns and GOMAXPROCS.
+	TraceSampleOneIn int
+	// TraceSampleSeed seeds the sampling hash; 0 is a fixed default.
+	TraceSampleSeed int64
+	// SLOTarget is the default per-tenant response-time target: a
+	// completed query whose response (submit to finish) exceeds it
+	// counts as an SLO breach for its tenant. 0 disables breach
+	// accounting (the per-tenant percentiles are still tracked).
+	SLOTarget time.Duration
+	// TenantSLOTargets overrides SLOTarget per tenant name.
+	TenantSLOTargets map[string]time.Duration
+	// TelemetryWindow is the width of one windowed-telemetry bucket
+	// (admission/shed/latency timeline and the SLO percentile horizon);
+	// 0 means one second of virtual time.
+	TelemetryWindow time.Duration
+	// TelemetryWindows is the number of windows the timeline ring
+	// retains; 0 means 240.
+	TelemetryWindows int
 }
 
 // ShedError is the typed rejection a query receives when it cannot be
@@ -160,6 +184,7 @@ type query struct {
 	submitRel time.Duration // session-relative submission instant
 	admitRel  time.Duration
 	admitted  bool
+	traced    bool // head-based sampling decision, made at Submit
 	traceMark int
 
 	arrived   map[int]bool
@@ -206,6 +231,7 @@ func putQuery(q *query) {
 	q.tenant = ""
 	q.submitRel, q.admitRel = 0, 0
 	q.admitted = false
+	q.traced = false
 	q.traceMark = 0
 	clear(q.arrived)
 	clear(q.submitted)
@@ -303,6 +329,13 @@ type Scheduler struct {
 	gInflight *obs.Gauge
 	hWaitUs   *obs.Histogram
 	mShed     *obs.Counter
+
+	// Serving telemetry, always on (bounded memory, master-loop writes
+	// only): the windowed admission/shed/latency timeline and the
+	// per-tenant SLO tracker. sampler is nil unless TraceSampleOneIn > 1.
+	series  *obs.Series
+	slo     *obs.SLO
+	sampler *obs.Sampler
 }
 
 // tenantState is the master's per-tenant admission bookkeeping.
@@ -346,6 +379,25 @@ func NewScheduler(e *Engine, policy core.Policy, opts core.Options, adm Admissio
 	s.ctl = core.NewController(e.Env, policy, opts)
 	s.adm = adm
 	s.ensureShards(adm.IntakeShards)
+	// Serving telemetry. The series' now-func is a pure clock read —
+	// reads never advance the virtual clock (obsnoclock allows them) —
+	// so the timeline buckets on virtual time without perturbing it. The
+	// SLO percentile horizon is the full timeline span.
+	window := adm.TelemetryWindow
+	if window <= 0 {
+		window = time.Second
+	}
+	nwin := adm.TelemetryWindows
+	if nwin <= 0 {
+		nwin = 240
+	}
+	s.series = obs.NewSeries(window, nwin, s.now)
+	targets := map[string]time.Duration{"": adm.SLOTarget}
+	for name, d := range adm.TenantSLOTargets {
+		targets[name] = d
+	}
+	s.slo = obs.NewSLO(window*time.Duration(nwin), 0, targets)
+	s.sampler = obs.NewSampler(adm.TraceSampleSeed, adm.TraceSampleOneIn)
 	e.sched = s
 	e.events = s.events
 	e.Store.Disks.ResetStats()
@@ -526,8 +578,19 @@ func (s *Scheduler) SubmitTenant(tenant string, specs []TaskSpec) (*QueryHandle,
 		Results: make(map[int]*Temp),
 		Frags:   make(map[int]FragStat),
 	}
-	q.traceMark = s.eng.Trace.Mark()
+	// The head-based sampling decision is made here, once, from the
+	// intake sequence: every span site downstream checks q.traced, so an
+	// unsampled query emits nothing and captures no per-query snapshot —
+	// the O(budget) guarantee for serving-scale observed runs.
+	q.traced = s.sampler.Sample(tenant, q.id)
+	if q.traced {
+		q.traceMark = s.eng.Trace.Mark()
+	}
 	q.handle = &QueryHandle{id: q.id, sched: s}
+	// Keep a local reference: once the query is published to its shard
+	// the master may shed, finish and recycle it (putQuery nils
+	// q.handle) before this goroutine returns.
+	h := q.handle
 
 	sh := s.intakeShardOf(q.id)
 	if !sh.mu.TryLock() {
@@ -551,7 +614,7 @@ func (s *Scheduler) SubmitTenant(tenant string, specs []TaskSpec) (*QueryHandle,
 		s.events.Post(intakeNote{})
 	}
 	sh.mu.Unlock()
-	return q.handle, nil
+	return h, nil
 }
 
 // registerIDs claims the query's task IDs in the sharded live tables,
@@ -728,6 +791,10 @@ func (s *Scheduler) tenant(name string) *tenantState {
 			ts.gRun = m.Gauge(obs.Label("sched.tenant_running", name))
 			ts.gWait = m.Gauge(obs.Label("sched.tenant_waiting", name))
 			ts.cShed = m.Counter(obs.Label("sched.tenant_shed", name))
+			// Burn-rate numerator as a read-at-snapshot gauge: a pure
+			// read of the SLO tracker's counter (obsnoclock-clean).
+			tenant := name
+			m.RegisterFunc(obs.Label("slo.breached", tenant), func() int64 { return s.slo.Breached(tenant) })
 		}
 		s.tenants[name] = ts
 		if name == "" {
@@ -753,7 +820,8 @@ func (s *Scheduler) onSubmit(q *query, now time.Duration) {
 	}
 	s.inflight++
 	s.gInflight.Set(int64(s.inflight))
-	if s.eng.Trace != nil {
+	s.series.Count("submitted", 1)
+	if s.eng.Trace != nil && q.traced {
 		s.eng.schedEvent("submit", fmt.Sprintf(
 			"query %d: %d tasks, %d B working set", q.id, len(q.ids), q.mem))
 	}
@@ -770,11 +838,19 @@ func (s *Scheduler) onSubmit(q *query, now time.Duration) {
 	ts.gWait.Set(int64(ts.waiting))
 	s.admitQ = append(s.admitQ, q)
 	s.gAdmitQ.Set(int64(len(s.admitQ)))
-	if s.eng.Trace != nil {
+	s.seriesGauges()
+	if s.eng.Trace != nil && q.traced {
 		s.eng.schedEvent("admission-wait", fmt.Sprintf(
 			"query %d queued: %d B in use of %d budget, %d/%d queries admitted",
 			q.id, s.memInUse, s.adm.MemoryBudget, s.nAdmitted, s.adm.MaxQueries))
 	}
+}
+
+// seriesGauges samples the admission state into the timeline's current
+// window after every state change the timeline should see.
+func (s *Scheduler) seriesGauges() {
+	s.series.Sample("admit_queue", int64(len(s.admitQ)))
+	s.series.Sample("running", int64(s.nAdmitted))
 }
 
 // shed rejects a query at the backpressure threshold with a typed
@@ -784,8 +860,10 @@ func (s *Scheduler) onSubmit(q *query, now time.Duration) {
 func (s *Scheduler) shed(q *query) {
 	s.mShed.Inc()
 	s.tenant(q.tenant).cShed.Inc()
+	s.series.Count("shed", 1)
+	s.slo.RecordShed(q.tenant)
 	s.intakeShardOf(q.id).queued.Add(-1)
-	if s.eng.Trace != nil {
+	if s.eng.Trace != nil && q.traced {
 		s.eng.schedEvent("shed", fmt.Sprintf(
 			"query %d shed: admission queue at limit %d", q.id, s.adm.MaxQueued))
 	}
@@ -835,7 +913,10 @@ func (s *Scheduler) admit(q *query, now time.Duration) {
 	s.intakeShardOf(q.id).queued.Add(-1)
 	wait := q.admitRel - q.submitRel
 	s.hWaitUs.Observe(int64(wait / time.Microsecond))
-	if s.eng.Trace != nil {
+	s.series.Count("admitted", 1)
+	s.series.Observe("queue_wait_us", int64(wait/time.Microsecond))
+	s.seriesGauges()
+	if s.eng.Trace != nil && q.traced {
 		if wait > 0 {
 			s.eng.schedEvent("admit", fmt.Sprintf(
 				"query %d admitted after %v in the admission queue", q.id, wait))
@@ -931,7 +1012,11 @@ func (s *Scheduler) apply(d core.Decision) {
 	defer s.observeQueues()
 	if e.Trace != nil {
 		for _, n := range d.Notes {
-			e.schedEvent(n.Kind, fmt.Sprintf("task %d: %s", n.TaskID, n.Detail))
+			// Notes attach to a task; suppress those of unsampled
+			// queries (unattributed notes always trace).
+			if q := s.byTask[n.TaskID]; q == nil || q.traced {
+				e.schedEvent(n.Kind, fmt.Sprintf("task %d: %s", n.TaskID, n.Detail))
+			}
 		}
 	}
 	for _, a := range d.Adjusts {
@@ -942,7 +1027,7 @@ func (s *Scheduler) apply(d core.Decision) {
 		}
 		q := s.byTask[a.Task.ID]
 		q.rep.Trace = append(q.rep.Trace, TraceEvent{Time: s.now(), Kind: "adjust", TaskID: a.Task.ID, Degree: a.Degree, Reason: a.Reason})
-		if e.Trace != nil {
+		if e.Trace != nil && q.traced {
 			e.schedEvent("adjust", fmt.Sprintf("task %d to degree %d: %s", a.Task.ID, a.Degree, a.Reason))
 		}
 		if err := rt.adjust(a.Degree); err != nil {
@@ -965,11 +1050,16 @@ func (s *Scheduler) apply(d core.Decision) {
 			s.abortStart(q, st.Task, err)
 			continue
 		}
-		fr.obsTid = e.Trace.Lane(obs.PidTasks, st.Task.Name)
+		fr.traced = q.traced
+		if q.traced {
+			fr.obsTid = e.Trace.Lane(obs.PidTasks, st.Task.Name)
+		} else {
+			fr.obsTid = 0
+		}
 		rt := &runningTask{eng: e, task: st.Task, fr: fr, drv: drv, slaves: make(map[int]*slaveState), startAt: e.now()}
 		s.running[st.Task.ID] = rt
 		q.rep.Trace = append(q.rep.Trace, TraceEvent{Time: s.now(), Kind: "start", TaskID: st.Task.ID, Degree: st.Degree, Reason: st.Reason})
-		if e.Trace != nil {
+		if e.Trace != nil && q.traced {
 			e.schedEvent("start", fmt.Sprintf("task %d (%s) at degree %d: %s", st.Task.ID, st.Task.Name, st.Degree, st.Reason))
 		}
 		if err := rt.launch(st.Degree); err != nil {
@@ -1026,7 +1116,7 @@ func (s *Scheduler) onTaskDone(ev taskDone) {
 		q.rep.Frags[id] = st
 		e.mTasks.Inc()
 		e.hTaskUs.Observe(int64(st.Elapsed() / time.Microsecond))
-		if e.Trace != nil {
+		if e.Trace != nil && q.traced {
 			detail := fmt.Sprintf("degrees %v; %d slaves, %d repartitions; in=%d out=%d tuples, %d batches",
 				st.Degrees, st.Slaves, st.Repartitions, st.TuplesIn, st.TuplesOut, st.Batches)
 			e.Trace.Span(st.Start, st.Elapsed(), obs.PidTasks, ev.rt.fr.obsTid, "frag", ev.task.Name, detail)
@@ -1075,12 +1165,22 @@ func (s *Scheduler) finishQuery(q *query) {
 	rep.QueueWait = q.admitRel - q.submitRel
 	rep.Elapsed = now - q.submitRel
 	rep.Disk = e.Store.Disks.Stats()
-	if e.Trace != nil {
+	// Per-query event slices and metrics snapshots are captured only for
+	// sampled queries: at serving scale these copies — not the span ring
+	// itself — would dominate memory and master-loop time.
+	if e.Trace != nil && q.traced {
 		rep.Events = e.Trace.Since(q.traceMark)
 	}
-	if e.Metrics != nil {
+	if e.Metrics != nil && q.traced {
 		rep.Metrics = e.Metrics.Snapshot()
 	}
+	if q.failed != nil {
+		s.series.Count("failed", 1)
+	} else {
+		s.series.Count("completed", 1)
+	}
+	s.series.Observe("response_us", int64(rep.Elapsed/time.Microsecond))
+	s.slo.Record(q.tenant, now, rep.Elapsed, rep.QueueWait)
 
 	// Release master-side state.
 	delete(s.queries, q.id)
@@ -1104,8 +1204,9 @@ func (s *Scheduler) finishQuery(q *query) {
 	ts.admitted--
 	ts.gRun.Set(int64(ts.admitted))
 	s.gInflight.Set(int64(s.inflight))
+	s.seriesGauges()
 	s.deregisterIDs(q)
-	if e.Trace != nil {
+	if e.Trace != nil && q.traced {
 		e.schedEvent("query-done", fmt.Sprintf(
 			"query %d: %d tasks in %v (queue wait %v)", q.id, len(q.ids), rep.Elapsed, rep.QueueWait))
 	}
@@ -1168,3 +1269,16 @@ func (s *Scheduler) dequeued(q *query) {
 	ts.waiting--
 	ts.gWait.Set(int64(ts.waiting))
 }
+
+// Timeline snapshots the scheduler's windowed telemetry: per-window
+// submitted/admitted/shed/completed counters, admission-queue and
+// running-query gauge samples, and queue-wait/response distributions.
+// Safe to call at any time; the timeline is fed only by the master
+// loop, so for a deterministic run the snapshot at a quiescent point is
+// byte-identical across reruns and GOMAXPROCS.
+func (s *Scheduler) Timeline() obs.SeriesSnapshot { return s.series.Snapshot() }
+
+// TenantSLOs snapshots per-tenant SLO state (windowed nearest-rank
+// response/queue-wait percentiles, breach and shed counters), sorted by
+// tenant name.
+func (s *Scheduler) TenantSLOs() []obs.TenantSLO { return s.slo.Snapshot() }

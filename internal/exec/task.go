@@ -127,7 +127,7 @@ func (rt *runningTask) spawnLocked(a assignment) {
 	rt.slaves[s.slot] = s
 	rt.active++
 	rt.eng.mSlaves.Inc()
-	if rt.eng.Trace != nil {
+	if rt.fr.tracing() {
 		s.startAt = rt.eng.now()
 		s.obsTid = rt.eng.Trace.Lane(obs.PidTasks, fmt.Sprintf("%s/s%d", rt.task.Name, s.slot))
 	}
@@ -180,7 +180,7 @@ func (rt *runningTask) slaveExit(s *slaveState, err error) bool {
 	recycle := !rt.round
 	failure := rt.failure
 	rt.mu.Unlock()
-	if rt.eng.Trace != nil {
+	if rt.fr.tracing() {
 		now := rt.eng.now()
 		rt.eng.Trace.Span(s.startAt, now-s.startAt, obs.PidTasks, s.obsTid, "slave",
 			fmt.Sprintf("%s/s%d", rt.task.Name, s.slot), "")
@@ -230,7 +230,7 @@ func (rt *runningTask) adjust(newDegree int) error {
 	oldDegree := rt.degree
 	slices.SortFunc(participants, func(a, b *slaveState) int { return a.slot - b.slot })
 	rt.mu.Unlock()
-	if rt.eng.Trace != nil {
+	if rt.fr.tracing() {
 		rt.fr.traceInstant("protocol", "adjust-signal", fmt.Sprintf(
 			"degree %d → %d: pause signalled to %d slaves", oldDegree, newDegree, len(participants)))
 	}
@@ -298,7 +298,7 @@ func (rt *runningTask) adjust(newDegree int) error {
 	resumes := resumeChannels(live)
 	rt.mu.Unlock()
 	rt.eng.mReparts.Inc()
-	if rt.eng.Trace != nil {
+	if rt.fr.tracing() {
 		rt.fr.traceInstant("protocol", "resume", fmt.Sprintf(
 			"repartitioned over degree %d: %d surviving slaves resumed, %d slaves ever spawned",
 			newDegree, len(live), spawned))

@@ -165,7 +165,8 @@ func TestVclockPurityGolden(t *testing.T) {
 
 func TestObsNoClockGolden(t *testing.T) {
 	runGolden(t, ObsNoClock,
-		"noclock/user", "noclock/internal/obs", "leafviol/internal/obs")
+		"noclock/user", "noclock/internal/obs", "leafviol/internal/obs",
+		"obswall/internal/obs")
 }
 
 func TestMapOrderGolden(t *testing.T) {

@@ -9,3 +9,13 @@ func (r *Registry) RegisterFunc(name string, fn func() int64) {}
 type Tracer struct{}
 
 func (t *Tracer) OnFlush(fn func()) {}
+
+// Series mirrors the real package's windowed ring: clock-pure, every
+// timestamp flows in through the injected now func. No findings.
+type Series struct {
+	now func() int64
+}
+
+func NewSeries(now func() int64) *Series { return &Series{now: now} }
+
+func (s *Series) Count(name string, delta int64) { _ = s.now() }

@@ -1,0 +1,26 @@
+// Package obs is an obsnoclock fixture violating the clock-purity
+// rule inside observability itself: telemetry primitives reading the
+// wall clock would observe virtual-time runs nondeterministically.
+package obs
+
+import "time"
+
+type Series struct {
+	last time.Duration
+}
+
+// Advance stamps the current window off the host clock instead of an
+// injected now func — the exact bug the analyzer exists to catch.
+func (s *Series) Advance() {
+	s.last = time.Since(time.Unix(0, 0)) // want `time.Since reads the wall clock inside internal/obs`
+}
+
+func (s *Series) Wait() {
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock inside internal/obs`
+}
+
+// Stamp is clock-pure: the timestamp arrives as an argument, and
+// time.Duration arithmetic never touches the host clock. No finding.
+func (s *Series) Stamp(now time.Duration) {
+	s.last = now + time.Millisecond
+}

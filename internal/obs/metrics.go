@@ -114,6 +114,13 @@ type HistogramSnapshot struct {
 	Sum   int64 `json:"sum"`
 	Min   int64 `json:"min"`
 	Max   int64 `json:"max"`
+	// P50/P95/P99 are nearest-rank quantile estimates resolved to the
+	// power-of-two bucket upper bound and clamped to [Min, Max]; exact
+	// when the rank lands in the first or last occupied bucket, at most
+	// one bucket (2×) coarse otherwise.
+	P50 int64 `json:"p50"`
+	P95 int64 `json:"p95"`
+	P99 int64 `json:"p99"`
 	// Buckets maps the inclusive upper bound of each non-empty
 	// power-of-two bucket to its count, in increasing bound order.
 	Buckets []HistogramBucket `json:"buckets,omitempty"`
@@ -131,6 +138,54 @@ func (s HistogramSnapshot) Mean() float64 {
 		return 0
 	}
 	return float64(s.Sum) / float64(s.Count)
+}
+
+// NearestRank returns the 1-based nearest-rank index of the p-th
+// percentile of n ascending samples: ceil(p*n/100), clamped to [1, n].
+// This is the single rank definition shared by the workload driver's
+// Percentile, the SLO tracker and the histogram quantile estimate, so
+// every "p95" in the tree means the same thing.
+func NearestRank(n, p int) int {
+	r := (p*n + 99) / 100
+	if r < 1 {
+		r = 1
+	}
+	if r > n {
+		r = n
+	}
+	return r
+}
+
+// Quantile estimates the p-th percentile observation: the upper bound
+// of the power-of-two bucket holding the nearest-rank sample, clamped
+// to [Min, Max]. Returns 0 for an empty histogram.
+func (s HistogramSnapshot) Quantile(p int) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	n := s.Count
+	rank := (int64(p)*n + 99) / 100 // ceil(p*n/100)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			ub := b.UpperBound
+			if ub < 0 || ub > s.Max {
+				ub = s.Max
+			}
+			if ub < s.Min {
+				ub = s.Min
+			}
+			return ub
+		}
+	}
+	return s.Max
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
@@ -156,6 +211,9 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		}
 		s.Buckets = append(s.Buckets, HistogramBucket{UpperBound: ub, Count: n})
 	}
+	s.P50 = s.Quantile(50)
+	s.P95 = s.Quantile(95)
+	s.P99 = s.Quantile(99)
 	return s
 }
 

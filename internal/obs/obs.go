@@ -28,3 +28,10 @@ type Observer struct {
 func NewObserver() *Observer {
 	return &Observer{Trace: NewTracer(), Metrics: NewRegistry()}
 }
+
+// NewObserverBudget creates an observer whose tracer retains at most
+// spanBudget events (see NewTracerBudget); spanBudget <= 0 means
+// unbounded, matching NewObserver.
+func NewObserverBudget(spanBudget int) *Observer {
+	return &Observer{Trace: NewTracerBudget(spanBudget), Metrics: NewRegistry()}
+}

@@ -1,0 +1,84 @@
+package obs
+
+// OpenMetrics text exposition. WriteOpenMetrics renders a registry (or
+// a frozen Snapshot) in the OpenMetrics text format so any Prometheus-
+// compatible scraper can consume the live registry from the ops
+// listener. The writer is a clock-pure leaf: it formats values it is
+// handed and never reads time.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// sanitizeMetricName maps a registry metric name ("sched.queue_wait_micros",
+// "slo.breached.tenant-7") onto the OpenMetrics name charset
+// [a-zA-Z0-9_:], replacing every other byte with '_' and prefixing
+// names that start with a digit.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteOpenMetrics renders the current state of every registered metric
+// in OpenMetrics text format, ending with the required "# EOF" marker.
+// A nil registry writes an empty (but well-formed) exposition.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.Snapshot().WriteOpenMetrics(w)
+}
+
+// WriteOpenMetrics renders the snapshot in OpenMetrics text format.
+// Counters become "<name>_total", gauges (including func metrics) plain
+// gauges, and histograms cumulative-bucket histograms with "+Inf",
+// "_sum" and "_count" series. Metric families are emitted in sorted
+// name order so the output is deterministic.
+func (s Snapshot) WriteOpenMetrics(w io.Writer) error {
+	var b strings.Builder
+	for _, name := range s.Names() {
+		om := sanitizeMetricName(name)
+		if v, ok := s.Counters[name]; ok {
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s_total %d\n", om, om, v)
+			continue
+		}
+		if v, ok := s.Gauges[name]; ok {
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", om, om, v)
+			continue
+		}
+		h, ok := s.Histograms[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", om)
+		var cum int64
+		for _, bk := range h.Buckets {
+			if bk.UpperBound < 0 {
+				// The top power-of-two bucket has no finite bound; its
+				// observations are covered by the +Inf series below.
+				continue
+			}
+			cum += bk.Count
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", om, bk.UpperBound, cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", om, h.Count)
+		fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", om, h.Sum, om, h.Count)
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,219 @@
+package obs
+
+// Per-tenant SLO tracking. Each tenant keeps a bounded ring of its most
+// recent completions (response time, queue wait, completion instant)
+// plus cumulative completed/breached/shed counters. Percentiles are
+// nearest-rank over the samples inside the sliding horizon — the same
+// rank definition the workload driver's Percentile uses (NearestRank),
+// so a tenant's p95 here and the run-level p95 there agree on what
+// "p95" means. Timestamps are supplied by the caller; the tracker never
+// reads a clock.
+
+import (
+	"cmp"
+	"slices"
+	"sync"
+	"time"
+)
+
+// sloDefaultCap bounds the per-tenant sample ring when the caller
+// passes 0.
+const sloDefaultCap = 2048
+
+// SLO tracks per-tenant response/queue-wait distributions against
+// target thresholds. All methods are safe for concurrent use and no-op
+// on a nil receiver.
+type SLO struct {
+	mu        sync.Mutex
+	horizon   time.Duration // samples older than newest-horizon are ignored; 0 = unbounded
+	sampleCap int
+	defTarget time.Duration
+	targets   map[string]time.Duration
+	tenants   map[string]*sloTenant
+}
+
+type sloSample struct {
+	at, resp, wait time.Duration
+}
+
+type sloTenant struct {
+	target    time.Duration
+	ring      []sloSample // ring of the most recent sampleCap completions
+	next      int         // write index once the ring is full
+	completed int64
+	breached  int64
+	shed      int64
+}
+
+// NewSLO creates a tracker. horizon bounds the percentile window
+// (0 = no age bound, ring capacity only); sampleCap bounds per-tenant
+// retained samples (<= 0 defaults to 2048). targets maps tenant name to
+// its response-time target; the "" entry is the default for tenants not
+// listed. A zero target disables breach accounting for that tenant.
+func NewSLO(horizon time.Duration, sampleCap int, targets map[string]time.Duration) *SLO {
+	if sampleCap <= 0 {
+		sampleCap = sloDefaultCap
+	}
+	s := &SLO{
+		horizon:   horizon,
+		sampleCap: sampleCap,
+		defTarget: targets[""],
+		targets:   make(map[string]time.Duration, len(targets)),
+		tenants:   make(map[string]*sloTenant),
+	}
+	for name, d := range targets {
+		if name != "" {
+			s.targets[name] = d
+		}
+	}
+	return s
+}
+
+// tenant returns the named tenant state, creating it on first use.
+// Caller holds s.mu.
+func (s *SLO) tenant(name string) *sloTenant {
+	t, ok := s.tenants[name]
+	if !ok {
+		target, set := s.targets[name]
+		if !set {
+			target = s.defTarget
+		}
+		t = &sloTenant{target: target}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// Record logs one completed query: its completion instant, response
+// time (submit to finish) and queue wait.
+func (s *SLO) Record(tenant string, at, resp, wait time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	t := s.tenant(tenant)
+	t.completed++
+	if t.target > 0 && resp > t.target {
+		t.breached++
+	}
+	sm := sloSample{at: at, resp: resp, wait: wait}
+	if len(t.ring) < s.sampleCap {
+		t.ring = append(t.ring, sm)
+	} else {
+		t.ring[t.next] = sm
+		t.next++
+		if t.next == len(t.ring) {
+			t.next = 0
+		}
+	}
+	s.mu.Unlock()
+}
+
+// RecordShed logs one shed (rejected) query for the tenant.
+func (s *SLO) RecordShed(tenant string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.tenant(tenant).shed++
+	s.mu.Unlock()
+}
+
+// Breached returns the tenant's cumulative breach count — the burn-rate
+// numerator, suitable for a RegisterFunc gauge.
+func (s *SLO) Breached(tenant string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tenants[tenant]; ok {
+		return t.breached
+	}
+	return 0
+}
+
+// Completed returns the tenant's cumulative completion count.
+func (s *SLO) Completed(tenant string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tenants[tenant]; ok {
+		return t.completed
+	}
+	return 0
+}
+
+// TenantSLO is the snapshot of one tenant's SLO state. Percentiles are
+// nearest-rank over the samples inside the horizon; Burn is the
+// cumulative breach rate in permille (breached*1000/completed).
+type TenantSLO struct {
+	Tenant       string `json:"tenant"`
+	Completed    int64  `json:"completed"`
+	Shed         int64  `json:"shed"`
+	TargetNs     int64  `json:"target_ns,omitempty"`
+	Breached     int64  `json:"breached"`
+	BurnPermille int64  `json:"burn_permille"`
+	WindowCount  int    `json:"window_count"`
+	RespP50Ns    int64  `json:"resp_p50_ns"`
+	RespP95Ns    int64  `json:"resp_p95_ns"`
+	RespP99Ns    int64  `json:"resp_p99_ns"`
+	WaitP50Ns    int64  `json:"wait_p50_ns"`
+	WaitP95Ns    int64  `json:"wait_p95_ns"`
+	WaitP99Ns    int64  `json:"wait_p99_ns"`
+}
+
+// Snapshot returns every tenant's state, sorted by tenant name. A nil
+// tracker yields nil.
+func (s *SLO) Snapshot() []TenantSLO {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TenantSLO, 0, len(s.tenants))
+	for name, t := range s.tenants {
+		ts := TenantSLO{
+			Tenant:    name,
+			Completed: t.completed,
+			Shed:      t.shed,
+			TargetNs:  int64(t.target),
+			Breached:  t.breached,
+		}
+		if t.completed > 0 {
+			ts.BurnPermille = t.breached * 1000 / t.completed
+		}
+		// Horizon filter: keep samples no older than newest-horizon.
+		var newest time.Duration
+		for _, sm := range t.ring {
+			if sm.at > newest {
+				newest = sm.at
+			}
+		}
+		resp := make([]time.Duration, 0, len(t.ring))
+		wait := make([]time.Duration, 0, len(t.ring))
+		for _, sm := range t.ring {
+			if s.horizon > 0 && sm.at < newest-s.horizon {
+				continue
+			}
+			resp = append(resp, sm.resp)
+			wait = append(wait, sm.wait)
+		}
+		slices.SortFunc(resp, func(a, b time.Duration) int { return cmp.Compare(a, b) })
+		slices.SortFunc(wait, func(a, b time.Duration) int { return cmp.Compare(a, b) })
+		ts.WindowCount = len(resp)
+		if n := len(resp); n > 0 {
+			ts.RespP50Ns = int64(resp[NearestRank(n, 50)-1])
+			ts.RespP95Ns = int64(resp[NearestRank(n, 95)-1])
+			ts.RespP99Ns = int64(resp[NearestRank(n, 99)-1])
+			ts.WaitP50Ns = int64(wait[NearestRank(n, 50)-1])
+			ts.WaitP95Ns = int64(wait[NearestRank(n, 95)-1])
+			ts.WaitP99Ns = int64(wait[NearestRank(n, 99)-1])
+		}
+		out = append(out, ts)
+	}
+	slices.SortFunc(out, func(a, b TenantSLO) int { return cmp.Compare(a.Tenant, b.Tenant) })
+	return out
+}

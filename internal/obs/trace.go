@@ -62,12 +62,21 @@ type laneKey struct {
 // path is one mutex-protected append; there is no channel, no clock
 // access and no allocation beyond slice growth, so enabling it cannot
 // change virtual-time behavior. All methods no-op on a nil receiver.
+//
+// A tracer built with NewTracerBudget retains at most budget events in
+// a ring: once full, each new event overwrites the oldest and bumps the
+// drop counter, so serving-scale runs observe O(budget) memory no
+// matter how many spans they emit. Sequence numbers keep counting the
+// total ever emitted, which is what Mark/Since key on.
 type Tracer struct {
-	mu     sync.Mutex
-	events []Event
-	seq    uint64
-	lanes  map[laneKey]int
-	names  []LaneName
+	mu      sync.Mutex
+	events  []Event
+	seq     uint64
+	budget  int // max retained events; 0 = unbounded
+	next    int // ring write index once len(events) == budget
+	dropped int64
+	lanes   map[laneKey]int
+	names   []LaneName
 }
 
 // LaneName is the human label of one (Pid, Tid) lane.
@@ -76,9 +85,37 @@ type LaneName struct {
 	Name     string
 }
 
-// NewTracer creates an empty tracer.
+// NewTracer creates an empty tracer with unbounded retention.
 func NewTracer() *Tracer {
 	return &Tracer{lanes: make(map[laneKey]int)}
+}
+
+// NewTracerBudget creates a tracer that retains at most budget events,
+// overwriting the oldest once full. budget <= 0 means unbounded.
+func NewTracerBudget(budget int) *Tracer {
+	if budget < 0 {
+		budget = 0
+	}
+	return &Tracer{budget: budget, lanes: make(map[laneKey]int)}
+}
+
+// Budget returns the retention cap (0 = unbounded).
+func (t *Tracer) Budget() int {
+	if t == nil {
+		return 0
+	}
+	return t.budget
+}
+
+// Dropped returns how many events were overwritten because the
+// retention budget was exhausted.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }
 
 // Lane returns the Tid for the named lane inside a process group,
@@ -128,11 +165,20 @@ func (t *Tracer) emit(ev Event) {
 	t.mu.Lock()
 	t.seq++
 	ev.Seq = t.seq
-	t.events = append(t.events, ev)
+	if t.budget > 0 && len(t.events) >= t.budget {
+		t.events[t.next] = ev
+		t.next++
+		if t.next == len(t.events) {
+			t.next = 0
+		}
+		t.dropped++
+	} else {
+		t.events = append(t.events, ev)
+	}
 	t.mu.Unlock()
 }
 
-// Len returns the number of recorded events.
+// Len returns the number of retained events (at most the budget).
 func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
@@ -143,25 +189,38 @@ func (t *Tracer) Len() int {
 }
 
 // Mark returns a position usable with Since to slice off the events of
-// one run when several runs share a tracer.
-func (t *Tracer) Mark() int { return t.Len() }
+// one run when several runs share a tracer. The position is the total
+// number of events ever emitted, so it stays meaningful on a bounded
+// tracer whose ring has wrapped: Since then returns whichever of the
+// newer events still survive.
+func (t *Tracer) Mark() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return int(t.seq)
+}
 
-// Since returns a copy of the events recorded at or after mark, sorted
-// by virtual time (emission sequence breaks ties). Sorting happens on
-// the copy; the tracer's internal order is emission order.
+// Since returns a copy of the retained events emitted after mark (a
+// Mark result), sorted by virtual time (emission sequence breaks ties).
+// Sorting happens on the copy; the tracer's internal order is emission
+// order. On a bounded tracer, events past mark that were overwritten by
+// the ring are gone and simply absent from the result.
 func (t *Tracer) Since(mark int) []Event {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
 	if mark < 0 {
 		mark = 0
 	}
-	if mark > len(t.events) {
-		mark = len(t.events)
+	t.mu.Lock()
+	out := make([]Event, 0, len(t.events))
+	for _, ev := range t.events {
+		if ev.Seq > uint64(mark) {
+			out = append(out, ev)
+		}
 	}
-	out := make([]Event, len(t.events)-mark)
-	copy(out, t.events[mark:])
 	t.mu.Unlock()
 	slices.SortStableFunc(out, func(a, b Event) int {
 		if a.Ts != b.Ts {
@@ -187,12 +246,15 @@ func (t *Tracer) Lanes() []LaneName {
 	return out
 }
 
-// Reset drops all recorded events, keeping lane assignments.
+// Reset drops all retained events and the drop count, keeping lane
+// assignments and the emission sequence (outstanding Marks stay valid).
 func (t *Tracer) Reset() {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
 	t.events = t.events[:0]
+	t.next = 0
+	t.dropped = 0
 	t.mu.Unlock()
 }

@@ -26,6 +26,7 @@ import (
 	"xprs/internal/cost"
 	"xprs/internal/exec"
 	"xprs/internal/expr"
+	"xprs/internal/obs"
 	"xprs/internal/plan"
 	"xprs/internal/storage"
 	"xprs/internal/vclock"
@@ -164,6 +165,16 @@ type ServeStats struct {
 	// completed queries per virtual second of makespan.
 	Makespan   time.Duration `json:"makespan_ns"`
 	Throughput float64       `json:"throughput_qps"`
+
+	// Timeline is the scheduler's windowed telemetry over the run: per
+	// window, submitted/admitted/shed/completed counters, admission-
+	// queue and running-query gauge samples, and queue-wait/response
+	// distributions. TenantSLO is the per-tenant SLO snapshot (windowed
+	// nearest-rank p50/p95/p99, breach and shed counters). Both are fed
+	// only by the master loop on virtual time, so they are part of the
+	// run's deterministic, observability-independent result.
+	Timeline  obs.SeriesSnapshot `json:"timeline"`
+	TenantSLO []obs.TenantSLO    `json:"tenant_slo"`
 }
 
 // RunOpenLoop submits `sessions` queries to the scheduler, drawing the
@@ -253,5 +264,10 @@ func RunOpenLoop(clk vclock.Clock, sched *exec.Scheduler, cat *Catalog, arr Arri
 	if lastEnd > 0 {
 		stats.Throughput = float64(stats.Completed) / lastEnd.Seconds()
 	}
+	// Every query has settled, so the scheduler's telemetry is
+	// quiescent: snapshot the timeline and the per-tenant SLO state into
+	// the run result.
+	stats.Timeline = sched.Timeline()
+	stats.TenantSLO = sched.TenantSLOs()
 	return stats, nil
 }

@@ -8,24 +8,20 @@ import (
 	"cmp"
 	"slices"
 	"time"
+
+	"xprs/internal/obs"
 )
 
 // Percentile returns the nearest-rank p-th percentile of an ascending
 // slice: the smallest element with at least p% of the sample at or below
 // it. Unlike the index (n-1)*p/100, this does not under-report for small
-// n (for n=12, p95 is the 12th value, not the 11th).
+// n (for n=12, p95 is the 12th value, not the 11th). The rank definition
+// lives in obs.NearestRank, shared with the per-tenant SLO tracker.
 func Percentile(sorted []time.Duration, p int) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
-	rank := (p*len(sorted) + 99) / 100 // ceil(p*n/100)
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > len(sorted) {
-		rank = len(sorted)
-	}
-	return sorted[rank-1]
+	return sorted[obs.NearestRank(len(sorted), p)-1]
 }
 
 // LatencySummary aggregates one latency sample.

@@ -9,6 +9,7 @@ package xprs
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"xprs/internal/workload"
 )
@@ -70,8 +71,18 @@ func (o ServeOptions) withDefaults() ServeOptions {
 // open-loop arrival schedule through one scheduler session. All
 // reported statistics are virtual time, so for a fixed cfg and options
 // the result is byte-identical at any GOMAXPROCS and any intake shard
-// count.
+// count — including with Config.Observe on, with or without trace
+// sampling (Admission.TraceSampleOneIn): instrumentation is invisible
+// in the stats.
 func RunServe(cfg Config, o ServeOptions) (*ServeStats, error) {
+	stats, _, err := RunServeSystem(cfg, o)
+	return stats, err
+}
+
+// RunServeSystem is RunServe returning the system too, so callers can
+// inspect the observer (span retention, drop counts, OpenMetrics) after
+// the run.
+func RunServeSystem(cfg Config, o ServeOptions) (*ServeStats, *System, error) {
 	o = o.withDefaults()
 	s := New(cfg)
 	cat, err := workload.BuildTenantCatalog(s.store, s.params, workload.TenantMix{
@@ -80,7 +91,7 @@ func RunServe(cfg Config, o ServeOptions) (*ServeStats, error) {
 		Tuples:    o.Tuples,
 	}, o.Seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var arr workload.ArrivalProcess
 	if o.Bursty {
@@ -95,9 +106,9 @@ func RunServe(cfg Config, o ServeOptions) (*ServeStats, error) {
 		return err
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return stats, nil
+	return stats, s, nil
 }
 
 // FormatServe renders one serving run.
@@ -117,5 +128,25 @@ func FormatServe(o ServeOptions, st *ServeStats) string {
 		st.Response.P95.Seconds(), st.Response.Max.Seconds())
 	fmt.Fprintf(&b, "  queue wait mean %.2fs  p95 %.2fs\n",
 		st.QueueWait.Mean.Seconds(), st.QueueWait.P95.Seconds())
+	if n := len(st.Timeline.Windows); n > 0 {
+		fmt.Fprintf(&b, "  timeline  %d windows × %.1fs (%d evicted)\n",
+			n, (time.Duration(st.Timeline.WindowNs)).Seconds(), st.Timeline.Evicted)
+	}
+	for _, t := range st.TenantSLO {
+		name := t.Tenant
+		if name == "" {
+			name = "default"
+		}
+		fmt.Fprintf(&b, "  slo %-8s completed %4d shed %3d  p50 %6.2fs p95 %6.2fs p99 %6.2fs",
+			name, t.Completed, t.Shed,
+			(time.Duration(t.RespP50Ns)).Seconds(),
+			(time.Duration(t.RespP95Ns)).Seconds(),
+			(time.Duration(t.RespP99Ns)).Seconds())
+		if t.TargetNs > 0 {
+			fmt.Fprintf(&b, "  target %.2fs breached %d (%.1f%%)",
+				(time.Duration(t.TargetNs)).Seconds(), t.Breached, float64(t.BurnPermille)/10)
+		}
+		b.WriteString("\n")
+	}
 	return b.String()
 }

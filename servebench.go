@@ -106,7 +106,31 @@ type ServeBenchResult struct {
 	// IntakeSpeedup4 is sharded-intake Submit throughput at GOMAXPROCS
 	// 4 over GOMAXPROCS 1 — the PR's scaling gate (want > 1.5).
 	IntakeSpeedup4 float64 `json:"intake_speedup_p4_vs_p1"`
+	// Observed is the sampled-tracing ablation: the largest grid run
+	// repeated with the observer on, a bounded span store and 1-in-N
+	// head sampling. StatsMatch asserts its virtual stats are
+	// byte-identical to the unobserved grid row; SpansKept is bounded by
+	// SpanBudget no matter the session count.
+	Observed *ObservedServeRow `json:"observed"`
 }
+
+// ObservedServeRow reports the sampled-tracing serving run.
+type ObservedServeRow struct {
+	Sessions     int     `json:"sessions"`
+	SampleOneIn  int     `json:"sample_one_in"`
+	SpanBudget   int     `json:"span_budget"`
+	SpansKept    int     `json:"spans_kept"`
+	SpansDropped int64   `json:"spans_dropped"`
+	WallMs       float64 `json:"wall_ms"`
+	StatsMatch   bool    `json:"stats_match"`
+}
+
+// Observed-serving ablation parameters: trace 1 in 16 queries into a
+// 4096-span ring.
+const (
+	serveSampleOneIn = 16
+	serveSpanBudget  = 4096
+)
 
 // serveBenchOpts is the grid's workload: a tenant mix with quotas and
 // shedding live, stable under the arrival rate so most queries
@@ -123,6 +147,9 @@ func serveBenchOpts(sessions int) ServeOptions {
 			MaxQueries:       16,
 			TenantMaxQueries: 8,
 			MaxQueued:        1000,
+			// Default response-time SLO for every tenant: the benched
+			// tenant_slo block carries real targets and breach counts.
+			SLOTarget: 2 * time.Second,
 		},
 		Seed: 1992,
 	}
@@ -175,6 +202,45 @@ func MeasureServe(cfg Config, o ServeBenchOptions) (*ServeBenchResult, error) {
 				WallQPS:  float64(n) / wall.Seconds(),
 				Stats:    stats,
 			})
+		}
+	}
+
+	// Sampled-tracing ablation: the largest session count again, observer
+	// on, bounded span ring, 1-in-N head sampling. The virtual stats must
+	// match the unobserved grid row exactly, and the span store must hold
+	// at most the budget — the "observation is free" claim under load.
+	if n := o.SessionCounts[len(o.SessionCounts)-1]; n > 0 {
+		runtime.GOMAXPROCS(o.Procs[len(o.Procs)-1])
+		ocfg := cfg
+		ocfg.Observe = true
+		ocfg.TraceBudget = serveSpanBudget
+		oopts := serveBenchOpts(n)
+		oopts.Adm.TraceSampleOneIn = serveSampleOneIn
+		start := time.Now()
+		stats, sys, err := RunServeSystem(ocfg, oopts)
+		if err != nil {
+			return nil, fmt.Errorf("observed serve %d sessions: %w", n, err)
+		}
+		wall := time.Since(start)
+		var baseline *ServeStats
+		for _, row := range res.Grid {
+			if row.Sessions == n {
+				baseline = row.Stats
+				break
+			}
+		}
+		res.Observed = &ObservedServeRow{
+			Sessions:     n,
+			SampleOneIn:  serveSampleOneIn,
+			SpanBudget:   serveSpanBudget,
+			SpansKept:    sys.Observer().Trace.Len(),
+			SpansDropped: sys.Observer().Trace.Dropped(),
+			WallMs:       float64(wall.Nanoseconds()) / 1e6,
+			StatsMatch:   reflect.DeepEqual(baseline, stats),
+		}
+		if !res.Observed.StatsMatch {
+			return nil, fmt.Errorf(
+				"observed serve %d sessions: stats differ from unobserved run", n)
 		}
 	}
 

@@ -87,6 +87,14 @@ type (
 	// MetricsSnapshot is a point-in-time view of every metric collected
 	// during an observed run.
 	MetricsSnapshot = obs.Snapshot
+	// SeriesSnapshot is the windowed serving timeline a scheduler
+	// session accumulates (ServeStats.Timeline).
+	SeriesSnapshot = obs.SeriesSnapshot
+	// WindowSnapshot is one window of a SeriesSnapshot.
+	WindowSnapshot = obs.WindowSnapshot
+	// TenantSLO is one tenant's SLO snapshot: windowed nearest-rank
+	// percentiles, breach and shed counters (ServeStats.TenantSLO).
+	TenantSLO = obs.TenantSLO
 	// Admission configures the scheduler's query admission controller
 	// (memory budget over task working sets, max concurrent queries).
 	Admission = exec.AdmissionConfig
@@ -148,6 +156,13 @@ type Config struct {
 	// totals do not depend on it — instrumentation never touches the
 	// clock beyond pure reads.
 	Observe bool
+	// TraceBudget bounds the observer's span store: once the tracer
+	// holds this many events, each new one overwrites the oldest and
+	// counts as dropped (Observer().Trace.Dropped()). 0 keeps the
+	// original unbounded retention. Combine with
+	// Admission.TraceSampleOneIn for serving-scale runs: sampling
+	// bounds what is emitted, the budget bounds what is retained.
+	TraceBudget int
 }
 
 // DefaultConfig is the paper's machine: 8 processors, 4 disks, no cache.
@@ -209,7 +224,7 @@ func New(cfg Config) *System {
 	engine.RowBatches = cfg.RowBatches
 	var observer *obs.Observer
 	if cfg.Observe {
-		observer = obs.NewObserver()
+		observer = obs.NewObserverBudget(cfg.TraceBudget)
 		engine.Trace = observer.Trace
 		engine.Metrics = observer.Metrics
 	}
