@@ -116,13 +116,20 @@ func main() {
 		}
 		fmt.Printf("\nwith admission cap of %d concurrent queries:\n", *streamMaxQ)
 		fmt.Print(xprs.FormatStream(limited))
+		abl, err := xprs.RunPolicyAblation(cfg, xprs.PolicyAblationOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(xprs.FormatPolicyAblation(abl))
 		payload := struct {
-			Seed       int64            `json:"seed"`
-			Tasks      int              `json:"tasks"`
-			MaxQueries int              `json:"admission_max_queries"`
-			Open       []xprs.StreamRow `json:"open"`
-			Limited    []xprs.StreamRow `json:"limited"`
-		}{Seed: *seed, Tasks: *streamN, MaxQueries: *streamMaxQ, Open: open, Limited: limited}
+			Seed           int64                `json:"seed"`
+			Tasks          int                  `json:"tasks"`
+			MaxQueries     int                  `json:"admission_max_queries"`
+			Open           []xprs.StreamRow     `json:"open"`
+			Limited        []xprs.StreamRow     `json:"limited"`
+			PolicyAblation *xprs.PolicyAblation `json:"policy_ablation"`
+		}{Seed: *seed, Tasks: *streamN, MaxQueries: *streamMaxQ, Open: open, Limited: limited, PolicyAblation: abl}
 		data, err := json.MarshalIndent(payload, "", "  ")
 		if err != nil {
 			return err
@@ -294,6 +301,9 @@ func main() {
 				res.IntakeSpeedup4, *serveOut)
 		} else {
 			fmt.Printf("serve: wrote %s (speedup needs GOMAXPROCS 1 and 4 in -serveprocs)\n", *serveOut)
+		}
+		if res.PolicyAblation != nil {
+			fmt.Print(xprs.FormatPolicyAblation(res.PolicyAblation))
 		}
 		// The largest run's timeline and per-tenant SLO view — the same
 		// rendering xprstop uses against the exported JSON.

@@ -8,6 +8,7 @@
 //	xprssched 65:10 10:10 50:8 12:6
 //	xprssched -policy inter-adj -sjf 65:10 10:10
 //	xprssched -serve -maxq 2 65:10 10:10 50:8@5 12:6@8
+//	xprssched -serve -maxq 1 -adm pred-sjf -aging 60 65:100 10:5@2 10:5@4
 //
 // Each argument is C:T where C is the task's sequential IO rate (io/s)
 // and T its sequential execution time (seconds). Append ":r" to mark a
@@ -21,6 +22,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -84,6 +86,10 @@ func main() {
 	serve := flag.Bool("serve", false, "submit tasks online to a live scheduler session on the full executor instead of the analytic simulator")
 	maxq := flag.Int("maxq", 0, "admission cap on concurrent queries (serve mode; 0 = unlimited)")
 	mem := flag.Int64("mem", 0, "admission memory budget in bytes over task working sets (serve mode; 0 = unlimited)")
+	queue := flag.String("queue", "", "queue policy for S_io/S_cpu ordering: paper (default), fifo, sjf")
+	admPol := flag.String("adm", "", "admission policy (serve mode): fifo (default), pred-sjf, deadline")
+	aging := flag.Float64("aging", 0, "aging promotion bound in seconds (serve mode; 0 = off)")
+	deadline := flag.Float64("deadline", 0, "per-query response deadline in seconds for -adm deadline (serve mode; 0 = none)")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -99,6 +105,14 @@ func main() {
 	opts := core.Options{SJF: *sjf}
 	if *fifo {
 		opts.Pairing = core.FIFOPairing
+	}
+	if *queue != "" {
+		qp, err := core.QueuePolicyByName(*queue, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xprssched:", err)
+			os.Exit(2)
+		}
+		opts.Queue = qp
 	}
 
 	policies := []core.Policy{core.IntraOnly, core.InterNoAdj, core.InterAdj}
@@ -116,11 +130,19 @@ func main() {
 	}
 
 	if *serve {
-		if err := runServe(args, policies, opts, *procs, *maxq, *mem); err != nil {
+		sv := serveConfig{
+			maxq: *maxq, mem: *mem, adm: *admPol,
+			aging:    time.Duration(*aging * float64(time.Second)),
+			deadline: time.Duration(*deadline * float64(time.Second)),
+		}
+		if err := runServe(args, policies, opts, *procs, sv); err != nil {
 			fmt.Fprintln(os.Stderr, "xprssched:", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *admPol != "" || *aging > 0 || *deadline > 0 {
+		fmt.Fprintln(os.Stderr, "xprssched: -adm/-aging/-deadline are only honored with -serve")
 	}
 
 	var tasks []*core.Task
@@ -156,11 +178,20 @@ func main() {
 	}
 }
 
+// serveConfig bundles the -serve admission knobs.
+type serveConfig struct {
+	maxq     int
+	mem      int64
+	adm      string
+	aging    time.Duration
+	deadline time.Duration
+}
+
 // runServe materializes each C:T argument as a real relation sized to
 // scan at rate C for T seconds and submits it as a single-task query to
 // a live scheduler session at its @arrival instant.
-func runServe(args []taskArg, policies []core.Policy, opts core.Options, procs, maxq int, mem int64) error {
-	adm := xprs.Admission{MaxQueries: maxq, MemoryBudget: mem}
+func runServe(args []taskArg, policies []core.Policy, opts core.Options, procs int, sv serveConfig) error {
+	adm := xprs.Admission{MaxQueries: sv.maxq, MemoryBudget: sv.mem, Policy: sv.adm, AgingMaxWait: sv.aging}
 	for _, a := range args {
 		if !a.seq {
 			fmt.Fprintf(os.Stderr, "xprssched: %q: the :r (random IO) suffix is ignored in -serve mode (tasks run as sequential scans)\n", a.raw)
@@ -191,12 +222,13 @@ func runServe(args []taskArg, policies []core.Policy, opts core.Options, procs, 
 			specs[i] = spec
 		}
 		reps := make([]*xprs.Report, len(args))
+		shedErrs := make([]error, len(args))
 		err := sys.Serve(pol, opts, adm, func(sc *xprs.Scheduler) error {
 			base := sc.Now()
 			handles := make([]*xprs.QueryHandle, len(args))
 			for i, a := range args {
 				sc.SleepUntil(base + a.arrival)
-				h, err := sc.Submit([]xprs.TaskSpec{specs[i]})
+				h, err := sc.SubmitWith(xprs.SubmitOptions{Deadline: sv.deadline}, []xprs.TaskSpec{specs[i]})
 				if err != nil {
 					return err
 				}
@@ -205,6 +237,12 @@ func runServe(args []taskArg, policies []core.Policy, opts core.Options, procs, 
 			for i, h := range handles {
 				rep, err := h.Wait()
 				if err != nil {
+					var shed *xprs.ShedError
+					var dshed *xprs.DeadlineShedError
+					if errors.As(err, &shed) || errors.As(err, &dshed) {
+						shedErrs[i] = err
+						continue
+					}
 					return err
 				}
 				reps[i] = rep
@@ -216,16 +254,29 @@ func runServe(args []taskArg, policies []core.Policy, opts core.Options, procs, 
 		}
 		var makespan time.Duration
 		for _, rep := range reps {
+			if rep == nil {
+				continue
+			}
 			if end := rep.SubmittedAt + rep.Elapsed; end > makespan {
 				makespan = end
 			}
 		}
 		fmt.Printf("\n%s — makespan %.3fs (online submission", pol, makespan.Seconds())
-		if maxq > 0 || mem > 0 {
-			fmt.Printf(", admission maxq=%d mem=%d", maxq, mem)
+		if sv.maxq > 0 || sv.mem > 0 {
+			fmt.Printf(", admission maxq=%d mem=%d", sv.maxq, sv.mem)
+		}
+		if sv.adm != "" {
+			fmt.Printf(", policy %s", sv.adm)
+			if sv.aging > 0 {
+				fmt.Printf("+aging(%v)", sv.aging)
+			}
 		}
 		fmt.Println(")")
 		for i, rep := range reps {
+			if rep == nil {
+				fmt.Printf("  %-14s shed: %v\n", args[i].raw, shedErrs[i])
+				continue
+			}
 			fmt.Printf("  %-14s submitted %7.2fs  queued %7.2fs  response %8.2fs\n",
 				args[i].raw, rep.SubmittedAt.Seconds(), rep.QueueWait.Seconds(), rep.Elapsed.Seconds())
 			for _, ev := range rep.Trace {

@@ -48,6 +48,7 @@ func main() {
 
 func realMain(in string, run bool, sessions, tenants int, rate float64, seed int64, sloMs, sample, budget, windows int, ops string) error {
 	var stats *xprs.ServeStats
+	var abl *xprs.PolicyAblation
 	var title string
 
 	if run {
@@ -101,6 +102,7 @@ func realMain(in string, run bool, sessions, tenants int, rate float64, seed int
 		// identical stats; render the largest run once.
 		row := res.Grid[len(res.Grid)-1]
 		stats = row.Stats
+		abl = res.PolicyAblation
 		title = fmt.Sprintf("%s: %d sessions, %d tenants, %.1f q/s",
 			in, row.Sessions, res.Tenants, res.Rate)
 		if ob := res.Observed; ob != nil {
@@ -114,6 +116,10 @@ func realMain(in string, run bool, sessions, tenants int, rate float64, seed int
 		stats.Completed, stats.Shed, stats.Throughput, stats.Makespan.Seconds())
 	renderTimeline(stats.Timeline, windows)
 	renderTenants(stats.TenantSLO)
+	if abl != nil {
+		fmt.Println()
+		fmt.Print(xprs.FormatPolicyAblation(abl))
+	}
 	return nil
 }
 

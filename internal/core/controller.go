@@ -72,6 +72,11 @@ type Options struct {
 	// in parallel unless there is enough memory for both hash tables").
 	// Zero disables the constraint. A single task always runs.
 	MemoryBudget int64
+	// Queue overrides the S_io/S_cpu ordering. Nil installs the paper
+	// default derived from SJF and Pairing, which reproduces the
+	// pre-QueuePolicy controller bit for bit (the identity-default
+	// contract, DESIGN.md §15).
+	Queue QueuePolicy
 }
 
 // Start instructs the engine to launch a task with the given degree of
@@ -132,6 +137,9 @@ type Controller struct {
 	env    Env
 	policy Policy
 	opts   Options
+	// queue is the resolved Options.Queue (never nil): every pop from
+	// S_io/S_cpu goes through it.
+	queue QueuePolicy
 	// sio and scpu are the paper's §2.5 queues as first-class state:
 	// tasks arrive online through Submit and wait here until the policy
 	// picks them.
@@ -146,7 +154,11 @@ func NewController(env Env, policy Policy, opts Options) *Controller {
 	if err := env.Validate(); err != nil {
 		panic(err)
 	}
-	return &Controller{env: env, policy: policy, opts: opts}
+	q := opts.Queue
+	if q == nil {
+		q = PaperQueuePolicy(opts)
+	}
+	return &Controller{env: env, policy: policy, opts: opts, queue: q}
 }
 
 // Env returns the planning environment.
@@ -154,6 +166,15 @@ func (c *Controller) Env() Env { return c.env }
 
 // Policy returns the active policy.
 func (c *Controller) Policy() Policy { return c.policy }
+
+// Options returns the controller's options (with Queue resolved to the
+// installed policy), so predictors can re-simulate under the exact
+// configuration the live controller runs.
+func (c *Controller) Options() Options {
+	o := c.opts
+	o.Queue = c.queue
+	return o
+}
 
 // Submit enqueues tasks (classifying each as IO- or CPU-bound) and
 // reschedules. The returned decision carries one classification note
@@ -482,71 +503,66 @@ func (c *Controller) pushFront(t *Task) {
 	}
 }
 
-// popIO removes the next IO-bound task per the heuristic: the most
-// IO-bound (greatest rate), or the shortest when SJF is set, or the
-// queue head under FIFOPairing.
+// popIO removes the next IO-bound pairing candidate per the queue
+// policy (paper default: the most IO-bound, greatest rate).
 func (c *Controller) popIO() *Task {
-	return c.popFrom(&c.sio, func(a, b *Task) bool { return a.Rate() > b.Rate() })
+	return c.popPolicy(PickPair, ClassIO)
 }
 
-// popCPU removes the next CPU-bound task: the most CPU-bound (smallest
-// rate), or per SJF/FIFO options.
+// popCPU removes the next CPU-bound pairing candidate per the queue
+// policy (paper default: the most CPU-bound, smallest rate).
 func (c *Controller) popCPU() *Task {
-	return c.popFrom(&c.scpu, func(a, b *Task) bool { return a.Rate() < b.Rate() })
+	return c.popPolicy(PickPair, ClassCPU)
 }
 
-// popFrom removes the next task from one queue per the configured
-// heuristic (the given order, or SJF, or plain FIFO).
-func (c *Controller) popFrom(q *TaskQueue, better func(a, b *Task) bool) *Task {
-	switch {
-	case c.opts.SJF:
-		return q.PopShortest()
-	case c.opts.Pairing == FIFOPairing:
-		return q.PopHead()
-	default:
-		return q.PopMin(better)
+// popPolicy removes the policy's pick from one class's queue.
+func (c *Controller) popPolicy(ctx PickContext, class QueueClass) *Task {
+	q := &c.sio
+	if class == ClassCPU {
+		q = &c.scpu
 	}
-}
-
-// popAny removes the next task regardless of class (INTRA-ONLY order):
-// arrival order, or shortest-job-first under SJF.
-func (c *Controller) popAny() *Task {
-	if c.sio.Empty() && c.scpu.Empty() {
+	if q.Empty() {
 		return nil
 	}
-	// Merge view preserving arrival order by ID is not possible (IDs are
-	// caller-assigned), so INTRA-ONLY serves IO queue and CPU queue
-	// round-robin by queue head arrival; with SJF it serves the shorter
-	// job of the two heads.
+	i := c.queue.Pick(ctx, class, q.Tasks())
+	if i < 0 || i >= q.Len() {
+		return nil
+	}
+	return q.RemoveAt(i)
+}
+
+// popAny removes the next task regardless of class (INTRA-ONLY order).
+// Merge view preserving arrival order by ID is not possible (IDs are
+// caller-assigned), so each queue nominates its serial candidate and
+// the policy's PreferIO arbitrates (paper default: IO first, or the
+// shorter job under SJF).
+func (c *Controller) popAny() *Task {
 	if c.sio.Empty() {
 		return c.popCPUHead()
 	}
 	if c.scpu.Empty() {
 		return c.popIOHead()
 	}
-	if c.opts.SJF {
-		if shorter(c.sio.PeekShortest(), c.scpu.PeekShortest()) {
-			return c.sio.PopShortest()
-		}
-		return c.scpu.PopShortest()
+	ii := c.queue.Pick(PickSerial, ClassIO, c.sio.Tasks())
+	ic := c.queue.Pick(PickSerial, ClassCPU, c.scpu.Tasks())
+	switch {
+	case ii < 0 || ii >= c.sio.Len():
+		return c.popCPUHead()
+	case ic < 0 || ic >= c.scpu.Len():
+		return c.popIOHead()
+	case c.queue.PreferIO(c.sio.At(ii), c.scpu.At(ic)):
+		return c.sio.RemoveAt(ii)
+	default:
+		return c.scpu.RemoveAt(ic)
 	}
-	// FIFO across both queues: prefer the IO queue head, matching the
-	// paper's bias toward draining IO-bound work first.
-	return c.popIOHead()
 }
 
 func (c *Controller) popIOHead() *Task {
-	if c.opts.SJF {
-		return c.sio.PopShortest()
-	}
-	return c.sio.PopHead()
+	return c.popPolicy(PickSerial, ClassIO)
 }
 
 func (c *Controller) popCPUHead() *Task {
-	if c.opts.SJF {
-		return c.scpu.PopShortest()
-	}
-	return c.scpu.PopHead()
+	return c.popPolicy(PickSerial, ClassCPU)
 }
 
 func shorter(a, b *Task) bool {

@@ -90,6 +90,20 @@ type AdmissionConfig struct {
 	// TelemetryWindows is the number of windows the timeline ring
 	// retains; 0 means 240.
 	TelemetryWindows int
+	// Policy names the admission policy that orders the wait queue:
+	// "fifo" (or empty, the identity default — strict head-of-line,
+	// fair-share scan under TenantMaxQueries), "pred-sjf" (admit the
+	// waiter with the earliest parcost-predicted completion under the
+	// current mix), or "deadline" (least-slack-first against per-query
+	// deadlines or tenant SLO targets, shedding provably-hopeless
+	// queries with a *DeadlineShedError). See admission.go.
+	Policy string
+	// AgingMaxWait, when positive, wraps the admission policy so a
+	// waiter older than this is promoted to strict head-of-line: no
+	// other query is admitted before it, bounding starvation under
+	// ordering policies that would otherwise skip it forever. Promotions
+	// count on the sched.aging_promoted metric.
+	AgingMaxWait time.Duration
 }
 
 // ShedError is the typed rejection a query receives when it cannot be
@@ -104,6 +118,25 @@ type ShedError struct {
 
 func (e *ShedError) Error() string {
 	return fmt.Sprintf("exec: query shed: admission queue at %d (limit %d)", e.Queued, e.Limit)
+}
+
+// DeadlineShedError is the typed rejection of the "deadline" admission
+// policy: the query's best-case predicted completion — simulated as if
+// it ran alone, the most optimistic schedule the machine admits —
+// already misses its deadline, so running it would only steal capacity
+// from queries that can still make theirs. Like a *ShedError, the query
+// acquired no admission charge and the session keeps serving.
+type DeadlineShedError struct {
+	Tenant string // tenant of the shed query
+	// Deadline is the query's response-time target relative to its
+	// submission; Predicted is the best-case predicted response.
+	Deadline  time.Duration
+	Predicted time.Duration
+}
+
+func (e *DeadlineShedError) Error() string {
+	return fmt.Sprintf("exec: query shed as hopeless: best-case response %v exceeds deadline %v",
+		e.Predicted, e.Deadline)
 }
 
 // QueryHandle is a client's ticket for one submitted query.
@@ -186,6 +219,17 @@ type query struct {
 	admitted  bool
 	traced    bool // head-based sampling decision, made at Submit
 	traceMark int
+	// deadline is the query's response-time target relative to its
+	// submission (SubmitOptions.Deadline); 0 means none. promoted
+	// latches the aging wrapper's head-of-line promotion so each query
+	// counts at most one promotion.
+	deadline time.Duration
+	promoted bool
+	// bestCase caches the deadline policy's best-case prediction (the
+	// query simulated alone, a state-independent value); bestCaseSet
+	// latches it so the simulation runs at most once per query.
+	bestCase    time.Duration
+	bestCaseSet bool
 
 	arrived   map[int]bool
 	submitted map[int]bool // handed to the controller
@@ -233,6 +277,10 @@ func putQuery(q *query) {
 	q.admitted = false
 	q.traced = false
 	q.traceMark = 0
+	q.deadline = 0
+	q.promoted = false
+	q.bestCase = 0
+	q.bestCaseSet = false
 	clear(q.arrived)
 	clear(q.submitted)
 	clear(q.done)
@@ -309,9 +357,21 @@ type Scheduler struct {
 	intakeBatch []*query // drain-and-decide scratch
 	queries     map[int]*query
 	byTask      map[int]*query
-	admitQ      []*query // FIFO admission queue
 	tenants     map[string]*tenantState
 	defTenant   *tenantState // cached s.tenants[""]
+	// Admission waiters live in per-tenant FIFO deques (tenantState.waitq)
+	// so the fair-share wake skips a quota-blocked tenant in O(1) instead
+	// of rescanning its queued queries — the old single FIFO slice made
+	// every wake round O(tenants × queue). waitTenants lists the tenants
+	// with at least one waiter (unordered; picks minimize query ID, which
+	// is intake order, so slice order is invisible in results); nWaiting
+	// is the total waiter count (the MaxQueued threshold and the
+	// admission-queue gauges). admPol orders the waiters; admEpoch bumps
+	// on every admission-state change and keys the prediction caches.
+	waitTenants []*tenantState
+	nWaiting    int
+	admPol      AdmissionPolicy
+	admEpoch    uint64
 	nAdmitted   int
 	memInUse    int64
 	inflight    int
@@ -329,6 +389,7 @@ type Scheduler struct {
 	gInflight *obs.Gauge
 	hWaitUs   *obs.Histogram
 	mShed     *obs.Counter
+	mAging    *obs.Counter
 
 	// Serving telemetry, always on (bounded memory, master-loop writes
 	// only): the windowed admission/shed/latency timeline and the
@@ -340,12 +401,60 @@ type Scheduler struct {
 
 // tenantState is the master's per-tenant admission bookkeeping.
 type tenantState struct {
-	admitted int // queries currently past admission
-	waiting  int // queries in the admission queue
+	name     string
+	admitted int   // queries currently past admission
+	waitq    waitQ // admission waiters of this tenant, in intake order
+	// waitIdx is this tenant's position in Scheduler.waitTenants while
+	// it has waiters, -1 otherwise.
+	waitIdx int
 
 	gRun  *obs.Gauge
 	gWait *obs.Gauge
 	cShed *obs.Counter
+}
+
+// waitQ is one tenant's FIFO of admission waiters. Pushes append in
+// intake order; the common pop is the head (FIFO admission), kept O(1)
+// amortized by a head offset, while policy-ordered admission may remove
+// from the middle (per-tenant queues are short; the splice is cheap).
+type waitQ struct {
+	items []*query
+	head  int
+}
+
+func (w *waitQ) len() int        { return len(w.items) - w.head }
+func (w *waitQ) at(i int) *query { return w.items[w.head+i] }
+func (w *waitQ) push(q *query)   { w.items = append(w.items, q) }
+
+// removeAt removes and returns the waiter at logical index i.
+func (w *waitQ) removeAt(i int) *query {
+	j := w.head + i
+	q := w.items[j]
+	if i == 0 {
+		w.items[j] = nil
+		w.head++
+		if w.head == len(w.items) {
+			w.items = w.items[:0]
+			w.head = 0
+		} else if w.head > 32 && w.head*2 >= len(w.items) {
+			n := copy(w.items, w.items[w.head:])
+			clear(w.items[n:])
+			w.items = w.items[:n]
+			w.head = 0
+		}
+	} else {
+		copy(w.items[j:], w.items[j+1:])
+		w.items[len(w.items)-1] = nil
+		w.items = w.items[:len(w.items)-1]
+	}
+	return q
+}
+
+// reset drops every waiter (poisoned-session insurance; keeps capacity).
+func (w *waitQ) reset() {
+	clear(w.items)
+	w.items = w.items[:0]
+	w.head = 0
 }
 
 // NewScheduler starts a scheduler service on the engine. The engine's
@@ -378,6 +487,11 @@ func NewScheduler(e *Engine, policy core.Policy, opts core.Options, adm Admissio
 	s.gen++
 	s.ctl = core.NewController(e.Env, policy, opts)
 	s.adm = adm
+	pol, err := AdmissionPolicyByName(adm.Policy, adm.AgingMaxWait)
+	if err != nil {
+		panic(err.Error()) // facades validate names up front
+	}
+	s.admPol = pol
 	s.ensureShards(adm.IntakeShards)
 	// Serving telemetry. The series' now-func is a pure clock read —
 	// reads never advance the virtual clock (obsnoclock allows them) —
@@ -420,6 +534,7 @@ func NewScheduler(e *Engine, policy core.Policy, opts core.Options, adm Admissio
 	s.gInflight = e.Metrics.Gauge("sched.queries_running")
 	s.hWaitUs = e.Metrics.Histogram("sched.queue_wait_micros")
 	s.mShed = e.Metrics.Counter("sched.shed_total")
+	s.mAging = e.Metrics.Counter("sched.aging_promoted")
 	if e.Metrics != nil {
 		// Intake health, sampled straight off the per-shard atomics at
 		// snapshot time (no clock interaction: obsnoclock-clean).
@@ -497,7 +612,9 @@ func (s *Scheduler) resetSession() {
 	clear(s.byTask)
 	clear(s.tenants)
 	s.defTenant = nil
-	s.admitQ = s.admitQ[:0]
+	s.waitTenants = s.waitTenants[:0]
+	s.nWaiting = 0
+	s.admEpoch = 0
 	s.nAdmitted = 0
 	s.memInUse = 0
 	s.inflight = 0
@@ -516,20 +633,37 @@ func (s *Scheduler) now() time.Duration { return s.eng.Clock.Now() - s.start }
 // service and returns its handle. It is SubmitTenant under the default
 // (empty) tenant.
 func (s *Scheduler) Submit(specs []TaskSpec) (*QueryHandle, error) {
-	return s.SubmitTenant("", specs)
+	return s.SubmitWith(SubmitOptions{}, specs)
 }
 
-// SubmitTenant registers one query on behalf of a tenant. Validation
-// errors are synchronous; the query itself is admitted and executed
-// asynchronously. Task IDs must be unique within the query and against
-// every in-flight query. A spec's Arrival is relative to the query's
-// admission instant (zero, the common case for online submission, means
-// "run as soon as admitted").
+// SubmitTenant registers one query on behalf of a tenant.
+func (s *Scheduler) SubmitTenant(tenant string, specs []TaskSpec) (*QueryHandle, error) {
+	return s.SubmitWith(SubmitOptions{Tenant: tenant}, specs)
+}
+
+// SubmitOptions carries per-query submission metadata beyond the specs.
+type SubmitOptions struct {
+	// Tenant attributes the query for admission quotas and SLO tracking;
+	// empty is the default tenant.
+	Tenant string
+	// Deadline is the query's response-time target relative to its
+	// submission instant; 0 means none (the tenant's SLO target, if any,
+	// stands in). Only the "deadline" admission policy acts on it.
+	Deadline time.Duration
+}
+
+// SubmitWith registers one query with explicit submission options.
+// Validation errors are synchronous; the query itself is admitted and
+// executed asynchronously. Task IDs must be unique within the query and
+// against every in-flight query. A spec's Arrival is relative to the
+// query's admission instant (zero, the common case for online
+// submission, means "run as soon as admitted").
 //
 // The fast path is sharded: concurrent callers contend only on their
 // task-ID and intake shards plus two atomic increments, never on a
 // global lock or on the master loop.
-func (s *Scheduler) SubmitTenant(tenant string, specs []TaskSpec) (*QueryHandle, error) {
+func (s *Scheduler) SubmitWith(o SubmitOptions, specs []TaskSpec) (*QueryHandle, error) {
+	tenant := o.Tenant
 	q := getQuery()
 	byID := q.specs
 	ids := q.ids[:0]
@@ -561,6 +695,7 @@ func (s *Scheduler) SubmitTenant(tenant string, specs []TaskSpec) (*QueryHandle,
 	q.ids = ids
 	q.mem = mem
 	q.tenant = tenant
+	q.deadline = o.Deadline
 	// The query ID doubles as the global intake sequence number: the
 	// master sorts every drained batch by it, so admission order is
 	// exactly the order of these Add calls no matter how entries spread
@@ -786,7 +921,7 @@ func (s *Scheduler) tenant(name string) *tenantState {
 	}
 	ts := s.tenants[name]
 	if ts == nil {
-		ts = &tenantState{}
+		ts = &tenantState{name: name, waitIdx: -1}
 		if m := s.eng.Metrics; m != nil {
 			ts.gRun = m.Gauge(obs.Label("sched.tenant_running", name))
 			ts.gWait = m.Gauge(obs.Label("sched.tenant_waiting", name))
@@ -825,19 +960,23 @@ func (s *Scheduler) onSubmit(q *query, now time.Duration) {
 		s.eng.schedEvent("submit", fmt.Sprintf(
 			"query %d: %d tasks, %d B working set", q.id, len(q.ids), q.mem))
 	}
+	// Policies with a submission screen (deadline) can reject a query
+	// before it ever waits: a provably-hopeless query sheds immediately.
+	if sc, ok := s.admPol.(admissionScreener); ok {
+		if err := sc.screen(s, q, now); err != nil {
+			s.shedWith(q, err)
+			return
+		}
+	}
 	if s.admits(q) {
 		s.admit(q, now)
 		return
 	}
-	if lim := s.adm.MaxQueued; lim > 0 && len(s.admitQ) >= lim {
-		s.shed(q)
+	if lim := s.adm.MaxQueued; lim > 0 && s.nWaiting >= lim {
+		s.shedWith(q, &ShedError{Tenant: q.tenant, Queued: s.nWaiting, Limit: s.adm.MaxQueued})
 		return
 	}
-	ts := s.tenant(q.tenant)
-	ts.waiting++
-	ts.gWait.Set(int64(ts.waiting))
-	s.admitQ = append(s.admitQ, q)
-	s.gAdmitQ.Set(int64(len(s.admitQ)))
+	s.enqueueWaiter(q)
 	s.seriesGauges()
 	if s.eng.Trace != nil && q.traced {
 		s.eng.schedEvent("admission-wait", fmt.Sprintf(
@@ -846,26 +985,120 @@ func (s *Scheduler) onSubmit(q *query, now time.Duration) {
 	}
 }
 
+// enqueueWaiter parks a query in its tenant's wait deque, registering
+// the tenant in waitTenants on its empty→non-empty transition.
+func (s *Scheduler) enqueueWaiter(q *query) {
+	ts := s.tenant(q.tenant)
+	if ts.waitq.len() == 0 {
+		ts.waitIdx = len(s.waitTenants)
+		s.waitTenants = append(s.waitTenants, ts)
+	}
+	ts.waitq.push(q)
+	s.nWaiting++
+	ts.gWait.Set(int64(ts.waitq.len()))
+	s.gAdmitQ.Set(int64(s.nWaiting))
+}
+
+// takeWaiter removes the waiter at index i of a tenant's deque,
+// deregistering the tenant from waitTenants when it empties (swap with
+// the last entry; waitTenants order is never observable). The caller
+// decides the query's fate — admission or a policy shed — and performs
+// the matching bookkeeping (intake-shard queued counts move there).
+func (s *Scheduler) takeWaiter(ts *tenantState, i int) *query {
+	q := ts.waitq.removeAt(i)
+	s.nWaiting--
+	ts.gWait.Set(int64(ts.waitq.len()))
+	s.gAdmitQ.Set(int64(s.nWaiting))
+	if ts.waitq.len() == 0 {
+		last := len(s.waitTenants) - 1
+		moved := s.waitTenants[last]
+		s.waitTenants[ts.waitIdx] = moved
+		moved.waitIdx = ts.waitIdx
+		s.waitTenants[last] = nil
+		s.waitTenants = s.waitTenants[:last]
+		ts.waitIdx = -1
+	}
+	return q
+}
+
+// oldestWaiter returns the globally oldest waiter (minimum query ID =
+// intake order) and its tenant, or nil when nothing waits. Each
+// tenant's deque is ID-ordered, so only the heads compete.
+func (s *Scheduler) oldestWaiter() (*tenantState, *query) {
+	var bts *tenantState
+	var bq *query
+	for _, ts := range s.waitTenants {
+		if q := ts.waitq.at(0); bq == nil || q.id < bq.id {
+			bts, bq = ts, q
+		}
+	}
+	return bts, bq
+}
+
+// firstEligibleWaiter is the fair-share scan: the oldest waiter (global
+// intake order) that fits the admission budget right now, skipping a
+// tenant's whole deque in O(1) when the tenant sits at its quota. It
+// reproduces the historical first-eligible-in-FIFO-order pick exactly —
+// including admitting a younger query of the SAME tenant when an older
+// one is memory-blocked — while replacing the O(tenants × queue) flat
+// rescan. The ID prune stops each deque at the first candidate older
+// than the best so far; deques are ID-ordered so nothing eligible is
+// missed.
+func (s *Scheduler) firstEligibleWaiter() (*tenantState, int) {
+	// Admission-wide gates first: if the query cap is hot no waiter fits
+	// (the lone-query rule in admits only applies at nAdmitted == 0).
+	if s.nAdmitted > 0 && s.adm.MaxQueries > 0 && s.nAdmitted >= s.adm.MaxQueries {
+		return nil, -1
+	}
+	var bts *tenantState
+	bi := -1
+	for _, ts := range s.waitTenants {
+		if s.nAdmitted > 0 && s.adm.TenantMaxQueries > 0 && ts.admitted >= s.adm.TenantMaxQueries {
+			continue
+		}
+		for i := 0; i < ts.waitq.len(); i++ {
+			q := ts.waitq.at(i)
+			if bq := bestWaiter(bts, bi); bq != nil && q.id > bq.id {
+				break
+			}
+			if s.admits(q) {
+				bts, bi = ts, i
+				break
+			}
+		}
+	}
+	return bts, bi
+}
+
+// bestWaiter dereferences a (tenant, index) pick, nil when unset.
+func bestWaiter(ts *tenantState, i int) *query {
+	if ts == nil {
+		return nil
+	}
+	return ts.waitq.at(i)
+}
+
 // seriesGauges samples the admission state into the timeline's current
 // window after every state change the timeline should see.
 func (s *Scheduler) seriesGauges() {
-	s.series.Sample("admit_queue", int64(len(s.admitQ)))
+	s.series.Sample("admit_queue", int64(s.nWaiting))
 	s.series.Sample("running", int64(s.nAdmitted))
 }
 
-// shed rejects a query at the backpressure threshold with a typed
-// *ShedError. The query never acquired an admission charge, so nothing
-// is released — memInUse and nAdmitted are untouched — and the session
-// keeps serving; only this handle settles with the error.
-func (s *Scheduler) shed(q *query) {
+// shedWith rejects a query with a typed shed error — the MaxQueued
+// backpressure *ShedError, or a policy rejection like the deadline
+// policy's *DeadlineShedError. The query never acquired an admission
+// charge, so nothing is released — memInUse and nAdmitted are untouched
+// — and the session keeps serving; only this handle settles with the
+// error.
+func (s *Scheduler) shedWith(q *query, err error) {
 	s.mShed.Inc()
 	s.tenant(q.tenant).cShed.Inc()
 	s.series.Count("shed", 1)
 	s.slo.RecordShed(q.tenant)
 	s.intakeShardOf(q.id).queued.Add(-1)
 	if s.eng.Trace != nil && q.traced {
-		s.eng.schedEvent("shed", fmt.Sprintf(
-			"query %d shed: admission queue at limit %d", q.id, s.adm.MaxQueued))
+		s.eng.schedEvent("shed", fmt.Sprintf("query %d shed: %v", q.id, err))
 	}
 	delete(s.queries, q.id)
 	for _, id := range q.ids {
@@ -874,7 +1107,7 @@ func (s *Scheduler) shed(q *query) {
 	s.deregisterIDs(q)
 	s.inflight--
 	s.gInflight.Set(int64(s.inflight))
-	q.handle.settle(nil, &ShedError{Tenant: q.tenant, Queued: len(s.admitQ), Limit: s.adm.MaxQueued})
+	q.handle.settle(nil, err)
 	putQuery(q)
 }
 
@@ -905,6 +1138,7 @@ func (s *Scheduler) admits(q *query) bool {
 func (s *Scheduler) admit(q *query, now time.Duration) {
 	q.admitted = true
 	q.admitRel = now
+	s.admEpoch++ // the admitted mix changed; cached predictions are stale
 	s.nAdmitted++
 	s.memInUse += q.mem
 	ts := s.tenant(q.tenant)
@@ -1108,6 +1342,7 @@ func (s *Scheduler) onTaskDone(ev taskDone) {
 	q.done[id] = true
 	q.finished++
 	delete(s.running, id)
+	s.admEpoch++ // remaining admitted work changed; predictions are stale
 	now := s.now()
 	if ev.err == nil {
 		q.rep.Finish[id] = now
@@ -1198,6 +1433,7 @@ func (s *Scheduler) finishQuery(q *query) {
 	}
 	q.frs = nil
 	s.inflight--
+	s.admEpoch++ // the admitted mix changed; cached predictions are stale
 	s.nAdmitted--
 	s.memInUse -= q.mem
 	ts := s.tenant(q.tenant)
@@ -1221,53 +1457,32 @@ func (s *Scheduler) finishQuery(q *query) {
 	putQuery(q)
 }
 
-// wakeAdmitQ admits queued queries that now fit. Without per-tenant
-// caps it is strict head-of-line FIFO: wake in order until the head no
-// longer fits, so the oldest waiter starts exactly when the budget
-// frees. With TenantMaxQueries set it becomes a fair-share scan — the
-// oldest *eligible* waiter is admitted, so a tenant sitting at its
-// quota cannot starve queries queued behind it. The scan restarts from
-// the head after every admission because admitting a degenerate empty
-// query can recursively finish it and mutate the queue.
+// wakeAdmitQ admits waiting queries that now fit, in the order the
+// admission policy dictates. The default "fifo" policy reproduces the
+// historical behavior exactly: strict head-of-line FIFO without
+// per-tenant caps (wake in intake order until the oldest waiter no
+// longer fits), fair-share first-eligible scan with them. Each round
+// re-asks the policy from fresh state because admitting a degenerate
+// empty query can recursively finish it — and recursively re-enter this
+// wake — mutating the wait queues mid-loop. A policy may also return a
+// shed verdict (the deadline policy giving up on a hopeless waiter);
+// the round then continues with the next pick.
 func (s *Scheduler) wakeAdmitQ() {
-	if len(s.admitQ) == 0 {
+	if s.nWaiting == 0 {
 		return
 	}
 	now := s.now()
-	if s.adm.TenantMaxQueries <= 0 {
-		for len(s.admitQ) > 0 && s.admits(s.admitQ[0]) {
-			next := s.admitQ[0]
-			s.admitQ = s.admitQ[1:]
-			s.gAdmitQ.Set(int64(len(s.admitQ)))
-			s.dequeued(next)
-			s.admit(next, now)
-		}
-		return
-	}
-	for {
-		i := 0
-		for ; i < len(s.admitQ); i++ {
-			if s.admits(s.admitQ[i]) {
-				break
-			}
-		}
-		if i == len(s.admitQ) {
+	for s.nWaiting > 0 {
+		q, shedErr := s.admPol.next(s, now)
+		if q == nil {
 			return
 		}
-		next := s.admitQ[i]
-		s.admitQ = append(s.admitQ[:i], s.admitQ[i+1:]...)
-		s.gAdmitQ.Set(int64(len(s.admitQ)))
-		s.dequeued(next)
-		s.admit(next, now)
+		if shedErr != nil {
+			s.shedWith(q, shedErr)
+			continue
+		}
+		s.admit(q, now)
 	}
-}
-
-// dequeued updates tenant bookkeeping for a query leaving the admission
-// queue.
-func (s *Scheduler) dequeued(q *query) {
-	ts := s.tenant(q.tenant)
-	ts.waiting--
-	ts.gWait.Set(int64(ts.waiting))
 }
 
 // Timeline snapshots the scheduler's windowed telemetry: per-window

@@ -38,6 +38,20 @@ type TenantMix struct {
 	Tenants   int
 	Templates int
 	Tuples    int64
+	// SLOClasses, when non-empty, tags every generated session with a
+	// per-query deadline drawn uniformly (seeded, deterministic) from
+	// these classes, exercising the deadline-aware admission policy.
+	// Empty leaves sessions untagged and the open-loop submission path
+	// byte-identical to a catalog built without classes.
+	SLOClasses []SLOClass
+}
+
+// SLOClass is one response-time class for generated sessions: a name
+// for reporting and the per-query deadline it carries (relative to
+// submission; 0 means no deadline — a background class).
+type SLOClass struct {
+	Name     string
+	Deadline time.Duration
 }
 
 // template is one prototype query: a backing relation plus a pool of
@@ -64,6 +78,7 @@ type Catalog struct {
 	params  cost.Params
 	tenants []string
 	temps   [][]*template // [tenant][template]
+	classes []SLOClass
 	nextID  int
 }
 
@@ -80,7 +95,7 @@ func BuildTenantCatalog(st *storage.Store, p cost.Params, mix TenantMix, seed in
 		tuples = 512
 	}
 	rng := rand.New(rand.NewSource(seed))
-	c := &Catalog{params: p}
+	c := &Catalog{params: p, classes: mix.SLOClasses}
 	for t := 0; t < mix.Tenants; t++ {
 		c.tenants = append(c.tenants, fmt.Sprintf("t%02d", t))
 		row := make([]*template, 0, mix.Templates)
@@ -157,6 +172,9 @@ type ServeStats struct {
 	Submitted int `json:"submitted"`
 	Completed int `json:"completed"`
 	Shed      int `json:"shed"`
+	// DeadlineShed counts the subset of Shed rejected by the deadline
+	// policy as provably hopeless (*exec.DeadlineShedError).
+	DeadlineShed int `json:"deadline_shed"`
 
 	Response  LatencySummary `json:"response"`
 	QueueWait LatencySummary `json:"queue_wait"`
@@ -188,6 +206,14 @@ func RunOpenLoop(clk vclock.Clock, sched *exec.Scheduler, cat *Catalog, arr Arri
 		return nil, fmt.Errorf("workload: open loop needs >= 1 session")
 	}
 	rng := rand.New(rand.NewSource(seed))
+	// SLO-class draws come from their own seeded stream so tagging
+	// sessions with deadlines does not perturb the tenant/template
+	// sequence: a run with classes submits the exact same queries as one
+	// without, just with deadlines attached.
+	var crng *rand.Rand
+	if len(cat.classes) > 0 {
+		crng = rand.New(rand.NewSource(seed + 7919))
+	}
 	type outstanding struct {
 		inst   *instance
 		handle *exec.QueryHandle
@@ -205,6 +231,12 @@ func RunOpenLoop(clk vclock.Clock, sched *exec.Scheduler, cat *Catalog, arr Arri
 			var shed *exec.ShedError
 			if errors.As(err, &shed) {
 				stats.Shed++
+				return nil
+			}
+			var dshed *exec.DeadlineShedError
+			if errors.As(err, &dshed) {
+				stats.Shed++
+				stats.DeadlineShed++
 				return nil
 			}
 			return err
@@ -229,7 +261,11 @@ func RunOpenLoop(clk vclock.Clock, sched *exec.Scheduler, cat *Catalog, arr Arri
 		if err != nil {
 			return nil, err
 		}
-		h, err := sched.SubmitTenant(cat.tenants[ten], inst.specs)
+		opts := exec.SubmitOptions{Tenant: cat.tenants[ten]}
+		if crng != nil {
+			opts.Deadline = cat.classes[crng.Intn(len(cat.classes))].Deadline
+		}
+		h, err := sched.SubmitWith(opts, inst.specs)
 		if err != nil {
 			return nil, err
 		}

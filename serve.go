@@ -22,6 +22,9 @@ type (
 	ServeStats = workload.ServeStats
 	// LatencySummary aggregates one latency sample.
 	LatencySummary = workload.LatencySummary
+	// SLOClass names a response-time deadline class; sessions draw one
+	// seeded-uniformly at submit when ServeOptions.SLOClasses is set.
+	SLOClass = workload.SLOClass
 )
 
 // ServeOptions sizes one open-loop serving run.
@@ -40,6 +43,11 @@ type ServeOptions struct {
 	Bursty bool
 	// Adm applies admission limits: quotas, MaxQueued shedding.
 	Adm Admission
+	// SLOClasses, when non-empty, tags each session with a deadline
+	// drawn seeded-uniformly from the classes; the "deadline" admission
+	// policy (Admission.Policy) sheds sessions that provably cannot make
+	// theirs.
+	SLOClasses []SLOClass
 	// Seed makes the run a pure function of its inputs.
 	Seed int64
 }
@@ -86,9 +94,10 @@ func RunServeSystem(cfg Config, o ServeOptions) (*ServeStats, *System, error) {
 	o = o.withDefaults()
 	s := New(cfg)
 	cat, err := workload.BuildTenantCatalog(s.store, s.params, workload.TenantMix{
-		Tenants:   o.Tenants,
-		Templates: o.Templates,
-		Tuples:    o.Tuples,
+		Tenants:    o.Tenants,
+		Templates:  o.Templates,
+		Tuples:     o.Tuples,
+		SLOClasses: o.SLOClasses,
 	}, o.Seed)
 	if err != nil {
 		return nil, nil, err
@@ -121,8 +130,12 @@ func FormatServe(o ServeOptions, st *ServeStats) string {
 		b.WriteString(" (bursty)")
 	}
 	b.WriteString("\n")
-	fmt.Fprintf(&b, "  completed %d, shed %d; virtual throughput %.2f q/s over %.1fs makespan\n",
-		st.Completed, st.Shed, st.Throughput, st.Makespan.Seconds())
+	fmt.Fprintf(&b, "  completed %d, shed %d", st.Completed, st.Shed)
+	if st.DeadlineShed > 0 {
+		fmt.Fprintf(&b, " (%d hopeless-deadline)", st.DeadlineShed)
+	}
+	fmt.Fprintf(&b, "; virtual throughput %.2f q/s over %.1fs makespan\n",
+		st.Throughput, st.Makespan.Seconds())
 	fmt.Fprintf(&b, "  response  mean %.2fs  p50 %.2fs  p95 %.2fs  max %.2fs\n",
 		st.Response.Mean.Seconds(), st.Response.P50.Seconds(),
 		st.Response.P95.Seconds(), st.Response.Max.Seconds())

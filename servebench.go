@@ -103,6 +103,10 @@ type ServeBenchResult struct {
 
 	Grid   []ServeGridRow `json:"grid"`
 	Intake []IntakeRow    `json:"intake_ablation"`
+	// PolicyAblation compares the admission policies (fifo,
+	// predicted-SJF with and without aging, deadline) on the shared
+	// skewed long/short mix — all in virtual time; see RunPolicyAblation.
+	PolicyAblation *PolicyAblation `json:"policy_ablation"`
 	// IntakeSpeedup4 is sharded-intake Submit throughput at GOMAXPROCS
 	// 4 over GOMAXPROCS 1 — the PR's scaling gate (want > 1.5).
 	IntakeSpeedup4 float64 `json:"intake_speedup_p4_vs_p1"`
@@ -269,6 +273,15 @@ func MeasureServe(cfg Config, o ServeBenchOptions) (*ServeBenchResult, error) {
 	if qps1 > 0 && qps4 > 0 {
 		res.IntakeSpeedup4 = qps4 / qps1
 	}
+
+	// Admission-policy ablation: virtual-time rows, so GOMAXPROCS is
+	// irrelevant; run at the host default.
+	runtime.GOMAXPROCS(prev)
+	abl, err := RunPolicyAblation(cfg, PolicyAblationOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("policy ablation: %w", err)
+	}
+	res.PolicyAblation = abl
 	return res, nil
 }
 

@@ -104,6 +104,20 @@ type (
 	// ShedError is the typed rejection a query's Wait returns when the
 	// admission queue is past Admission.MaxQueued (check with errors.As).
 	ShedError = exec.ShedError
+	// DeadlineShedError is the typed rejection of the "deadline"
+	// admission policy: the query's best-case predicted response already
+	// misses its deadline (check with errors.As).
+	DeadlineShedError = exec.DeadlineShedError
+	// SubmitOptions carries per-query submission metadata (tenant,
+	// deadline) for Scheduler.SubmitWith.
+	SubmitOptions = exec.SubmitOptions
+	// AdmissionPolicy orders the admission wait queue; select one by
+	// name via Admission.Policy ("fifo", "pred-sjf", "deadline").
+	AdmissionPolicy = exec.AdmissionPolicy
+	// QueuePolicy orders the controller's S_io/S_cpu queues; install one
+	// via SchedOptions.Queue or select by name via
+	// Config.SchedulingPolicy / core.QueuePolicyByName.
+	QueuePolicy = core.QueuePolicy
 )
 
 // Scheduling policies (§3's three algorithms).
@@ -163,6 +177,11 @@ type Config struct {
 	// Admission.TraceSampleOneIn for serving-scale runs: sampling
 	// bounds what is emitted, the budget bounds what is retained.
 	TraceBudget int
+	// SchedulingPolicy names the default admission policy for Serve
+	// sessions whose Admission.Policy is empty: "fifo" (the identity
+	// default), "pred-sjf", or "deadline". An explicit Admission.Policy
+	// always wins. Empty means "fifo".
+	SchedulingPolicy string
 }
 
 // DefaultConfig is the paper's machine: 8 processors, 4 disks, no cache.
@@ -507,6 +526,12 @@ func (sc *Scheduler) SubmitTenant(tenant string, specs []TaskSpec) (*QueryHandle
 	return sc.inner.SubmitTenant(tenant, specs)
 }
 
+// SubmitWith is Submit with explicit per-query options: the tenant and
+// a response-time deadline the "deadline" admission policy acts on.
+func (sc *Scheduler) SubmitWith(o SubmitOptions, specs []TaskSpec) (*QueryHandle, error) {
+	return sc.inner.SubmitWith(o, specs)
+}
+
 // Go spawns fn on a clock-registered goroutine of the session, so
 // concurrent drivers can submit and wait in virtual time.
 func (sc *Scheduler) Go(fn func()) { sc.sys.clock.Go(fn) }
@@ -529,6 +554,14 @@ func (sc *Scheduler) SleepUntil(t time.Duration) {
 // submitted query completes — before Serve returns. Policy, scheduler
 // options and admission limits are fixed for the session's lifetime.
 func (s *System) Serve(policy Policy, opts SchedOptions, adm Admission, fn func(*Scheduler) error) error {
+	if adm.Policy == "" {
+		adm.Policy = s.cfg.SchedulingPolicy
+	}
+	// Validate the policy name here, where an error can be returned;
+	// exec.NewScheduler panics on one.
+	if _, err := exec.AdmissionPolicyByName(adm.Policy, adm.AgingMaxWait); err != nil {
+		return err
+	}
 	var err error
 	s.clock.Run(func() {
 		inner := exec.NewScheduler(s.engine, policy, opts, adm)
