@@ -24,9 +24,13 @@ vet:
 	$(GO) vet ./...
 
 # xprsvet: the repo-specific determinism analyzers (vclockpurity,
-# obsnoclock, maporder, atomicmix). See DESIGN.md §11.
+# obsnoclock, maporder, atomicmix, poollifetime, lockorder,
+# policypurity, tracegate, allowaudit). Runs in both standalone and
+# vet-tool modes, matching CI. See DESIGN.md §11/§16.
 lint: vet
 	$(GO) run ./cmd/xprsvet ./...
+	$(GO) build -o /tmp/xprsvet ./cmd/xprsvet
+	$(GO) vet -vettool=/tmp/xprsvet ./...
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkPipelineThroughput|BenchmarkBufferPoolParallel' -benchmem .

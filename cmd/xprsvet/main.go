@@ -1,14 +1,18 @@
 // Command xprsvet runs the repo's determinism analyzer suite
-// (internal/lint): vclockpurity, obsnoclock, maporder and atomicmix.
+// (internal/lint): vclockpurity, obsnoclock, maporder, atomicmix,
+// poollifetime, lockorder, policypurity, tracegate and allowaudit.
 // It supports two modes:
 //
 // Standalone (what `make lint` runs):
 //
 //	xprsvet ./...
+//	xprsvet -json ./...
 //
 // loads the named packages with `go list -export`, typechecks them
 // from source, runs every analyzer and prints findings as
-// file:line:col: message [analyzer]. Exit status 1 means findings.
+// file:line:col: message [analyzer], or with -json as a JSON array of
+// {file, line, col, analyzer, message} objects for CI annotation.
+// Exit status 1 means findings.
 //
 // Vet-tool protocol:
 //
@@ -46,6 +50,7 @@ func main() {
 		return
 	}
 	printVersion := flag.String("V", "", "print version and exit (vet-tool protocol)")
+	jsonOut := flag.Bool("json", false, "standalone mode: print findings as a JSON array")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: xprsvet [package pattern ...]   (default ./...)\n")
 		fmt.Fprintf(os.Stderr, "   or: go vet -vettool=$(which xprsvet) ./...\n\nAnalyzers:\n")
@@ -63,10 +68,10 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(runUnit(args[0]))
 	}
-	os.Exit(runStandalone(args))
+	os.Exit(runStandalone(args, *jsonOut))
 }
 
-func runStandalone(patterns []string) int {
+func runStandalone(patterns []string, jsonOut bool) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -85,8 +90,17 @@ func runStandalone(patterns []string) int {
 		fmt.Fprintln(os.Stderr, "xprsvet:", err)
 		return 1
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if jsonOut {
+		out, err := lint.DiagnosticsJSON(diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xprsvet:", err)
+			return 1
+		}
+		os.Stdout.Write(append(out, '\n'))
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "xprsvet: %d finding(s)\n", len(diags))

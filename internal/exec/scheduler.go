@@ -745,7 +745,11 @@ func (s *Scheduler) SubmitWith(o SubmitOptions, specs []TaskSpec) (*QueryHandle,
 	// inside the shard critical section, so Drain's closed sweep (which
 	// takes every shard lock) strictly follows every accepted entry's
 	// push and notification — no straggler can ring after drainMsg.
+	// Posting under the shard lock is therefore deliberate, and safe:
+	// Post is a buffered append + Signal, never a Wait, so the holder
+	// cannot stall on the consumer.
 	if s.intakeLive.Add(1) == 1 {
+		//lint:allow lockorder — doorbell Post is ordered by design (above)
 		s.events.Post(intakeNote{})
 	}
 	sh.mu.Unlock()

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"slices"
+	"strings"
+)
+
+// AllowAudit flags stale `//lint:allow` directives: escapes that no
+// longer suppress any finding from the analyzer they name. Suppressions
+// are the suite's debt ledger — each one documents a deliberate
+// violation — so a directive that outlived its violation is noise that
+// hides real rot (the guarded code was fixed, moved, or deleted, and
+// the escape now silently blesses whatever lands on those lines next).
+//
+// AllowAudit is a pseudo-analyzer: it cannot run as an ordinary Pass
+// because it needs to observe which directives the *other* analyzers
+// consumed. RunAnalyzers runs it last over each package. A directive is
+// audited only when the analyzer it names was part of the run (a
+// partial run proves nothing about other analyzers' directives), and
+// wildcard `*` escapes are never audited. A deliberately retained
+// directive can itself be excused with `//lint:allow allowaudit`.
+var AllowAudit = &Analyzer{
+	Name: "allowaudit",
+	Doc: "flag stale //lint:allow directives that no longer suppress any finding " +
+		"from the analyzer they name",
+	// Run is never invoked: RunAnalyzers special-cases this analyzer and
+	// calls auditAllows after every other pass over the package.
+	Run: func(*Pass) error { return nil },
+}
+
+// auditAllows reports every allow directive naming an analyzer in ran
+// whose ranges suppressed nothing. Ranges are grouped by directive
+// position and name first: a doc-comment directive contributes both a
+// declaration-wide range and a line range, and using either keeps the
+// directive live.
+func auditAllows(pkg *Package, ran map[string]bool, diags *[]Diagnostic) {
+	type key struct {
+		file string
+		line int
+		col  int
+		name string
+	}
+	used := make(map[key]bool)
+	ranges := make(map[key]*allowRange)
+	for _, file := range pkg.allows() {
+		for _, r := range file {
+			k := key{r.pos.Filename, r.pos.Line, r.pos.Column, r.name}
+			used[k] = used[k] || r.used
+			ranges[k] = r
+		}
+	}
+	keys := make([]key, 0, len(ranges))
+	for k := range ranges {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, func(a, b key) int {
+		if c := strings.Compare(a.file, b.file); c != 0 {
+			return c
+		}
+		if a.line != b.line {
+			return a.line - b.line
+		}
+		if a.col != b.col {
+			return a.col - b.col
+		}
+		return strings.Compare(a.name, b.name)
+	})
+	for _, k := range keys {
+		r := ranges[k]
+		if used[k] || k.name == "*" || k.name == AllowAudit.Name || !ran[k.name] {
+			continue
+		}
+		if excused(pkg, r) {
+			continue
+		}
+		*diags = append(*diags, Diagnostic{
+			Pos:      r.pos,
+			Analyzer: AllowAudit.Name,
+			Message: "stale //lint:allow " + k.name + ": no " + k.name +
+				" finding is suppressed by this directive — the violation it excused " +
+				"is gone, so delete the directive (or re-justify it with //lint:allow allowaudit)",
+		})
+	}
+}
+
+// excused reports whether an `allowaudit` (or `*`) directive covers the
+// stale directive's own line.
+func excused(pkg *Package, r *allowRange) bool {
+	for _, other := range pkg.allows()[r.pos.Filename] {
+		if (other.name == AllowAudit.Name || other.name == "*") &&
+			r.pos.Line >= other.from && r.pos.Line <= other.to {
+			other.used = true
+			return true
+		}
+	}
+	return false
+}

@@ -14,6 +14,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -44,10 +45,18 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	// allow maps filename -> line ranges suppressed per analyzer name,
-	// precomputed by newPass from //lint:allow comments.
-	allow map[string][]allowRange
+	// cached on the Package so the allowaudit pass can see which
+	// directives any analyzer actually used.
+	allow map[string][]*allowRange
 
+	pkg   *Package
 	diags *[]Diagnostic
+}
+
+// CallGraph returns the package's shared call graph (built lazily once
+// per package and reused by every interprocedural analyzer).
+func (p *Pass) CallGraph() *CallGraph {
+	return p.pkg.callGraph()
 }
 
 // Diagnostic is one finding, positioned and attributed to its analyzer.
@@ -62,10 +71,15 @@ func (d Diagnostic) String() string {
 }
 
 // allowRange marks lines [from, to] of a file as suppressed for one
-// analyzer (or every analyzer when name is "*").
+// analyzer (or every analyzer when name is "*"). pos is the directive
+// comment itself; used records whether any finding was suppressed by
+// this range, which the allowaudit pass inspects to flag stale
+// directives.
 type allowRange struct {
 	name     string
 	from, to int
+	pos      token.Position
+	used     bool
 }
 
 // AllowDirective is the comment prefix that suppresses a finding.
@@ -76,6 +90,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	position := p.Fset.Position(pos)
 	for _, r := range p.allow[position.Filename] {
 		if (r.name == p.Analyzer.Name || r.name == "*") && position.Line >= r.from && position.Line <= r.to {
+			r.used = true
 			return
 		}
 	}
@@ -87,7 +102,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 }
 
 // newPass builds a Pass for one analyzer over one loaded package,
-// precomputing the allow-directive line ranges.
+// sharing the package's cached allow-directive line ranges.
 func newPass(a *Analyzer, pkg *Package, sink *[]Diagnostic) *Pass {
 	p := &Pass{
 		Analyzer:  a,
@@ -95,17 +110,36 @@ func newPass(a *Analyzer, pkg *Package, sink *[]Diagnostic) *Pass {
 		Files:     pkg.Syntax,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.TypesInfo,
-		allow:     pkg.allowRanges(),
+		allow:     pkg.allows(),
+		pkg:       pkg,
 		diags:     sink,
 	}
 	return p
 }
 
+// allows returns the package's allow-directive line ranges, computed
+// once and cached so every pass shares (and marks usage on) the same
+// range records.
+func (pkg *Package) allows() map[string][]*allowRange {
+	if pkg.allow == nil {
+		pkg.allow = pkg.allowRanges()
+	}
+	return pkg.allow
+}
+
+// callGraph returns the package's call graph, built once on demand.
+func (pkg *Package) callGraph() *CallGraph {
+	if pkg.graph == nil {
+		pkg.graph = NewCallGraph(pkg.Syntax, pkg.TypesInfo)
+	}
+	return pkg.graph
+}
+
 // allowRanges scans every comment in the package for allow directives.
 // A directive in a function declaration's doc comment covers the whole
 // function body; any other directive covers its own line and the next.
-func (pkg *Package) allowRanges() map[string][]allowRange {
-	out := make(map[string][]allowRange)
+func (pkg *Package) allowRanges() map[string][]*allowRange {
+	out := make(map[string][]*allowRange)
 	for _, f := range pkg.Syntax {
 		// Doc-comment directives: cover the entire declaration.
 		for _, decl := range f.Decls {
@@ -116,11 +150,16 @@ func (pkg *Package) allowRanges() map[string][]allowRange {
 			case *ast.GenDecl:
 				doc = d.Doc
 			}
-			for _, name := range directiveNames(doc) {
-				from := pkg.Fset.Position(decl.Pos()).Line
-				to := pkg.Fset.Position(decl.End()).Line
-				file := pkg.Fset.Position(decl.Pos()).Filename
-				out[file] = append(out[file], allowRange{name: name, from: from, to: to})
+			for _, c := range directiveComments(doc) {
+				for _, name := range parseDirective(c.Text) {
+					from := pkg.Fset.Position(decl.Pos()).Line
+					to := pkg.Fset.Position(decl.End()).Line
+					file := pkg.Fset.Position(decl.Pos()).Filename
+					out[file] = append(out[file], &allowRange{
+						name: name, from: from, to: to,
+						pos: pkg.Fset.Position(c.Pos()),
+					})
+				}
 			}
 		}
 		// Line directives: cover the directive's line and the line below,
@@ -130,7 +169,10 @@ func (pkg *Package) allowRanges() map[string][]allowRange {
 			for _, c := range cg.List {
 				for _, name := range parseDirective(c.Text) {
 					pos := pkg.Fset.Position(c.Pos())
-					out[pos.Filename] = append(out[pos.Filename], allowRange{name: name, from: pos.Line, to: pos.Line + 1})
+					out[pos.Filename] = append(out[pos.Filename], &allowRange{
+						name: name, from: pos.Line, to: pos.Line + 1,
+						pos: pos,
+					})
 				}
 			}
 		}
@@ -138,15 +180,17 @@ func (pkg *Package) allowRanges() map[string][]allowRange {
 	return out
 }
 
-func directiveNames(doc *ast.CommentGroup) []string {
+func directiveComments(doc *ast.CommentGroup) []*ast.Comment {
 	if doc == nil {
 		return nil
 	}
-	var names []string
+	var out []*ast.Comment
 	for _, c := range doc.List {
-		names = append(names, parseDirective(c.Text)...)
+		if len(parseDirective(c.Text)) > 0 {
+			out = append(out, c)
+		}
 	}
-	return names
+	return out
 }
 
 // parseDirective extracts analyzer names from one comment's text, e.g.
@@ -170,16 +214,38 @@ func parseDirective(text string) []string {
 }
 
 // RunAnalyzers applies every analyzer to every package and returns the
-// combined findings sorted by position.
+// combined findings sorted by position. The allowaudit pseudo-analyzer,
+// when present, runs last over each package: it inspects which allow
+// directives the other analyzers actually consumed, so it cannot run as
+// an ordinary Pass.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	ran := make(map[string]bool)
+	var audit bool
+	var checks []*Analyzer
+	for _, a := range analyzers {
+		if a.Name == AllowAudit.Name {
+			audit = true
+			continue
+		}
+		checks = append(checks, a)
+		ran[a.Name] = true
+	}
 	for _, pkg := range pkgs {
-		for _, a := range analyzers {
+		for _, a := range checks {
 			if err := a.Run(newPass(a, pkg, &diags)); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
 			}
 		}
+		if audit {
+			auditAllows(pkg, ran, &diags)
+		}
 	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
 	slices.SortFunc(diags, func(a, b Diagnostic) int {
 		if c := strings.Compare(a.Pos.Filename, b.Pos.Filename); c != 0 {
 			return c
@@ -192,5 +258,30 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 		}
 		return strings.Compare(a.Analyzer, b.Analyzer)
 	})
-	return diags, nil
+}
+
+// jsonDiagnostic is the stable machine-readable finding schema emitted
+// by `xprsvet -json` for CI annotation tooling.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// DiagnosticsJSON renders findings as a JSON array (always an array —
+// `[]`, never null — so downstream parsers need no special case).
+func DiagnosticsJSON(diags []Diagnostic) ([]byte, error) {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
 }

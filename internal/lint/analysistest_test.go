@@ -34,7 +34,7 @@ func stdExports(t *testing.T) map[string]string {
 	t.Helper()
 	stdExportsOnce.Do(func() {
 		stdExportsMap, stdExportsErr = listExports(repoRoot(),
-			"time", "math/rand", "sync/atomic", "slices", "sort")
+			"time", "math/rand", "sync", "sync/atomic", "slices", "sort")
 	})
 	if stdExportsErr != nil {
 		t.Fatalf("resolving std export data: %v", stdExportsErr)
@@ -134,10 +134,17 @@ func collectWants(t *testing.T, pkgs []*Package) []*want {
 // matches its diagnostics against the want assertions.
 func runGolden(t *testing.T, a *Analyzer, paths ...string) {
 	t.Helper()
+	runGoldenSuite(t, []*Analyzer{a}, paths...)
+}
+
+// runGoldenSuite is runGolden for analyzer combinations (allowaudit
+// needs the analyzer it audits in the same run).
+func runGoldenSuite(t *testing.T, analyzers []*Analyzer, paths ...string) {
+	t.Helper()
 	pkgs := loadTestdata(t, paths...)
-	diags, err := RunAnalyzers(pkgs, []*Analyzer{a})
+	diags, err := RunAnalyzers(pkgs, analyzers)
 	if err != nil {
-		t.Fatalf("%s: %v", a.Name, err)
+		t.Fatalf("%s: %v", analyzers[0].Name, err)
 	}
 	wants := collectWants(t, pkgs)
 	matched := make([]bool, len(wants))
@@ -176,6 +183,42 @@ func TestMapOrderGolden(t *testing.T) {
 
 func TestAtomicMixGolden(t *testing.T) {
 	runGolden(t, AtomicMix, "atomicmix")
+}
+
+func TestPoolLifetimeGolden(t *testing.T) {
+	runGolden(t, PoolLifetime, "poollife/pl")
+}
+
+func TestLockOrderGolden(t *testing.T) {
+	runGolden(t, LockOrder,
+		"lockorder/internal/exec", "lockorder/internal/vclock")
+}
+
+func TestPolicyPurityGolden(t *testing.T) {
+	runGolden(t, PolicyPurity, "policypurity/internal/core")
+}
+
+func TestTraceGateGolden(t *testing.T) {
+	runGolden(t, TraceGate,
+		"tracegate/internal/exec", "tracegate/internal/obs")
+}
+
+func TestAllowAuditGolden(t *testing.T) {
+	runGoldenSuite(t, []*Analyzer{MapOrder, AllowAudit}, "allowaudit/aa")
+}
+
+// TestAllowAuditPartialRun pins the partial-run rule: a directive is
+// audited only when the analyzer it names actually ran, so running a
+// different analyzer over the same fixture reports nothing.
+func TestAllowAuditPartialRun(t *testing.T) {
+	pkgs := loadTestdata(t, "allowaudit/aa")
+	diags, err := RunAnalyzers(pkgs, []*Analyzer{AtomicMix, AllowAudit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic in partial run: %s", d)
+	}
 }
 
 func TestParseDirective(t *testing.T) {

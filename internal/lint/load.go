@@ -22,6 +22,11 @@ type Package struct {
 	Syntax    []*ast.File
 	Types     *types.Package
 	TypesInfo *types.Info
+
+	// Caches shared by every pass over this package: the allow-directive
+	// ranges (with usage marks for allowaudit) and the call graph.
+	allow map[string][]*allowRange
+	graph *CallGraph
 }
 
 // listedPackage is the subset of `go list -json` output the loader

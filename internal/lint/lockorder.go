@@ -1,0 +1,547 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockOrder enforces the stripe-mutex discipline in exec and storage.
+// A "stripe" is a struct carrying a sync.Mutex that appears as a
+// slice/array element (intakeShard in the scheduler, poolShard in the
+// buffer pool): many instances, hashed into by concurrent callers, so
+// lock-ordering bugs between them deadlock only under contention and
+// never in deterministic tests. Three rules:
+//
+//  1. no two distinct stripes held at once — a stripe is a leaf lock.
+//     The one sanctioned multi-acquire is registerIDs' idiom: a single
+//     loop over an index slice that was slices.Sort-ed first, which
+//     makes the textual acquire site identical (and the order globally
+//     consistent) across iterations.
+//  2. a loop that acquires stripe locks over a local index slice must
+//     sort that slice first; otherwise two concurrent multi-acquires
+//     can interleave in opposite orders and deadlock.
+//  3. no blocking operation under a stripe lock — channel send/recv,
+//     select, vclock Mailbox.Post/Wait, Clock.Sleep/WaitSignal,
+//     handle.Wait, or any in-package call that transitively reaches
+//     one. A blocked stripe holder stalls every submitter hashed to
+//     that stripe (and under the virtual clock can deadlock the whole
+//     simulation, since the blocked goroutine still holds a lock the
+//     waking path needs).
+//
+// Deliberate exceptions (the Submit doorbell, whose Post must stay
+// inside the critical section for the Drain ordering protocol) escape
+// with a justified //lint:allow lockorder.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "stripe (sharded) mutexes are leaf locks: never hold two at once, sort " +
+		"multi-acquire index loops, and never block (channels, Mailbox, Wait) under one",
+	Run: runLockOrder,
+}
+
+// blockingVclockMethods are the vclock APIs that can park the calling
+// goroutine (or, for Post, hand off through a channel).
+var blockingVclockMethods = map[string]bool{
+	"Post":         true, // Mailbox.Post
+	"Wait":         true, // Mailbox.Wait
+	"TryWait":      true,
+	"WaitSignal":   true,
+	"Sleep":        true,
+	"SleepUntil":   true,
+	"YieldOrdered": true,
+	"Run":          true,
+}
+
+func runLockOrder(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !pathHasSuffix(path, "internal/exec") && !pathHasSuffix(path, "internal/storage") {
+		return nil
+	}
+	g := pass.CallGraph()
+	stripes := stripeTypes(pass.Pkg)
+	if len(stripes) == 0 {
+		return nil
+	}
+
+	// Per-function facts for the interprocedural rules: which declared
+	// functions contain a raw channel operation, and which acquire a
+	// stripe lock directly.
+	chanOp := make(map[*types.Func]bool)
+	locksStripe := make(map[*types.Func]bool)
+	for _, fn := range g.Funcs() {
+		decl := g.Decl(fn)
+		if decl == nil || decl.Body == nil {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+				return false
+			case *ast.SendStmt, *ast.SelectStmt:
+				chanOp[fn] = true
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					chanOp[fn] = true
+				}
+			case *ast.CallExpr:
+				if op, _, ok := stripeLockOp(pass.TypesInfo, stripes, n); ok && op != "Unlock" {
+					locksStripe[fn] = true
+				}
+			}
+			return true
+		})
+	}
+	blockReach := g.Reacher(func(fn *types.Func) string {
+		if pathHasSuffix(funcPkgPath(fn), "internal/vclock") && blockingVclockMethods[fn.Name()] {
+			if recv := recvBaseName(fn); recv != "" {
+				return "vclock." + recv + "." + fn.Name()
+			}
+			return "vclock." + fn.Name()
+		}
+		if chanOp[fn] {
+			return "a channel operation in " + fn.Name()
+		}
+		return ""
+	})
+	stripeReach := g.Reacher(func(fn *types.Func) string {
+		if locksStripe[fn] {
+			return fn.Name()
+		}
+		return ""
+	})
+
+	for _, fn := range g.Funcs() {
+		decl := g.Decl(fn)
+		if decl == nil || decl.Body == nil {
+			continue
+		}
+		w := &lockWalker{
+			pass:        pass,
+			g:           g,
+			stripes:     stripes,
+			blockReach:  blockReach,
+			stripeReach: stripeReach,
+			decl:        decl,
+		}
+		w.walkList(decl.Body.List, map[string]token.Pos{})
+	}
+	return nil
+}
+
+// stripeTypes finds the package's stripe structs: named struct types
+// with a sync.Mutex/RWMutex field that some other in-package struct
+// embeds as a slice or array element.
+func stripeTypes(pkg *types.Package) map[*types.Named]bool {
+	var mutexed []*types.Named
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if isSyncMutex(st.Field(i).Type()) {
+				mutexed = append(mutexed, named)
+				break
+			}
+		}
+	}
+	out := make(map[*types.Named]bool)
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			elem := sliceElem(st.Field(i).Type())
+			if elem == nil {
+				continue
+			}
+			for _, m := range mutexed {
+				if types.Identical(elem, m) {
+					out[m] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func isSyncMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+}
+
+func sliceElem(t types.Type) types.Type {
+	switch t := t.Underlying().(type) {
+	case *types.Slice:
+		return t.Elem()
+	case *types.Array:
+		return t.Elem()
+	}
+	return nil
+}
+
+// stripeLockOp classifies call as a Lock/TryLock/Unlock on a mutex
+// field of a stripe struct, returning the op name and a stable textual
+// key for the lock-holder expression ("sh", "s.shards[ix]").
+func stripeLockOp(info *types.Info, stripes map[*types.Named]bool, call *ast.CallExpr) (op, key string, ok bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || funcPkgPath(fn) != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "TryLock", "RLock":
+		op = "Lock"
+		if fn.Name() == "TryLock" {
+			op = "TryLock"
+		}
+	case "Unlock", "RUnlock":
+		op = "Unlock"
+	default:
+		return "", "", false
+	}
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	mutexExpr, okSel := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false // a bare mutex variable is not a stripe field
+	}
+	base := mutexExpr.X
+	tv, okT := info.Types[base]
+	if !okT || tv.Type == nil {
+		return "", "", false
+	}
+	t := tv.Type
+	if p, okP := t.(*types.Pointer); okP {
+		t = p.Elem()
+	}
+	named, okN := t.(*types.Named)
+	if !okN || !stripes[named] {
+		return "", "", false
+	}
+	return op, exprKey(base), true
+}
+
+// exprKey renders an expression as a stable identity string for
+// held-lock tracking.
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprKey(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprKey(e.X) + "[" + exprKey(e.Index) + "]"
+	case *ast.StarExpr:
+		return exprKey(e.X)
+	case *ast.UnaryExpr:
+		return exprKey(e.X)
+	case *ast.CallExpr:
+		return exprKey(e.Fun) + "()"
+	case *ast.BasicLit:
+		return e.Value
+	}
+	return fmt.Sprintf("expr@%d", e.Pos())
+}
+
+// lockWalker tracks held stripe locks through one function body.
+type lockWalker struct {
+	pass        *Pass
+	g           *CallGraph
+	stripes     map[*types.Named]bool
+	blockReach  *Reacher
+	stripeReach *Reacher
+	decl        *ast.FuncDecl
+	loops       []ast.Stmt // enclosing for/range statements, innermost last
+}
+
+func (w *lockWalker) walkList(list []ast.Stmt, held map[string]token.Pos) map[string]token.Pos {
+	for _, stmt := range list {
+		held = w.walkStmt(stmt, held)
+	}
+	return held
+}
+
+func (w *lockWalker) walkStmt(stmt ast.Stmt, held map[string]token.Pos) map[string]token.Pos {
+	switch s := stmt.(type) {
+	case *ast.DeferStmt:
+		// A deferred Unlock releases at return; the lock stays held for
+		// the rest of the body, so leave state untouched and skip the
+		// deferred call itself.
+		return held
+	case *ast.BlockStmt:
+		return w.walkList(s.List, held)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		w.scan(s.Cond, held)
+		thenHeld := w.walkList(s.Body.List, copyHeld(held))
+		var elseHeld map[string]token.Pos
+		elseTerm := true
+		if s.Else != nil {
+			elseHeld = w.walkStmt(s.Else, copyHeld(held))
+			elseTerm = stmtTerminates(s.Else)
+		}
+		// Adopt the effects of a branch the fall-through path actually
+		// merges with (the TryLock-fallback Lock must persist; a branch
+		// ending in return contributes nothing downstream).
+		if !blockTerminates(s.Body) {
+			return thenHeld
+		}
+		if s.Else != nil && !elseTerm {
+			return elseHeld
+		}
+		return held
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		w.scan(s.Cond, held)
+		w.loops = append(w.loops, s)
+		bodyHeld := w.walkList(s.Body.List, copyHeld(held))
+		w.loops = w.loops[:len(w.loops)-1]
+		if !blockTerminates(s.Body) {
+			return bodyHeld
+		}
+		return held
+	case *ast.RangeStmt:
+		w.scan(s.X, held)
+		w.loops = append(w.loops, s)
+		bodyHeld := w.walkList(s.Body.List, copyHeld(held))
+		w.loops = w.loops[:len(w.loops)-1]
+		if !blockTerminates(s.Body) {
+			return bodyHeld
+		}
+		return held
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		w.scan(stmt, held) // tags and case bodies: scan conservatively in place
+		return held
+	case *ast.SelectStmt:
+		if len(held) > 0 {
+			w.reportBlocking(s.Pos(), "select statement", held)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				w.walkList(cc.Body, copyHeld(held))
+			}
+		}
+		return held
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.reportBlocking(s.Arrow, "channel send", held)
+		}
+		w.scan(s.Value, held)
+		return held
+	default:
+		w.scan(stmt, held)
+		return held
+	}
+}
+
+// scan applies lock events and checks blocking/nested-acquire hazards
+// in an expression (or simple-statement) subtree, in source order.
+func (w *lockWalker) scan(n ast.Node, held map[string]token.Pos) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			if len(held) > 0 {
+				w.reportBlocking(n.Arrow, "channel send", held)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(held) > 0 {
+				w.reportBlocking(n.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			w.scanCall(n, held)
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) scanCall(call *ast.CallExpr, held map[string]token.Pos) {
+	if op, key, ok := stripeLockOp(w.pass.TypesInfo, w.stripes, call); ok {
+		switch op {
+		case "Lock", "TryLock":
+			if _, same := held[key]; !same && len(held) > 0 {
+				w.pass.Reportf(call.Pos(),
+					"stripe mutex %s.mu acquired while stripe %s.mu is already held: stripes are "+
+						"leaf locks — hold at most one, or use the sorted ascending index loop idiom "+
+						"(registerIDs) for multi-shard sections (DESIGN.md §16)",
+					key, minKey(held))
+			}
+			w.checkSortedLoopAcquire(call)
+			held[key] = call.Pos()
+		case "Unlock":
+			delete(held, key)
+		}
+		return
+	}
+	if len(held) == 0 {
+		return
+	}
+	callee := w.g.Callee(call)
+	if callee == nil {
+		return
+	}
+	if culprit := w.blockReach.FromFunc(callee); culprit != "" {
+		what := "call reaching " + culprit
+		if w.blockReach.classify(callee) != "" {
+			what = "call to " + culprit // the callee itself is the blocking API
+		}
+		w.reportBlocking(call.Pos(), what, held)
+		return
+	}
+	if w.g.Decl(callee) != nil {
+		if locker := w.stripeReach.FromFunc(callee); locker != "" {
+			w.pass.Reportf(call.Pos(),
+				"call reaches %s, which acquires a stripe mutex, while a stripe lock is already "+
+					"held: nested stripe acquisition through calls can deadlock against the sorted "+
+					"multi-acquire path (DESIGN.md §16)",
+				locker)
+		}
+	}
+}
+
+// checkSortedLoopAcquire enforces rule 2: a stripe acquire inside a
+// range over a function-local index slice requires the slice to have
+// been sorted earlier in the function.
+func (w *lockWalker) checkSortedLoopAcquire(call *ast.CallExpr) {
+	if len(w.loops) == 0 {
+		return
+	}
+	rng, ok := w.loops[len(w.loops)-1].(*ast.RangeStmt)
+	if !ok {
+		return
+	}
+	id, ok := ast.Unparen(rng.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj, ok := w.pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Parent() == obj.Pkg().Scope() {
+		return // package-level or field-backed slices iterate in index order
+	}
+	if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+		return
+	}
+	if sortedBeforePos(w.pass, w.decl, obj, rng.Pos()) {
+		return
+	}
+	w.pass.Reportf(call.Pos(),
+		"stripe mutexes acquired in a loop over %q, which is not sorted before the loop: "+
+			"concurrent multi-acquires in different orders deadlock — slices.Sort the index "+
+			"slice first (the registerIDs idiom, DESIGN.md §16)",
+		obj.Name())
+}
+
+// sortedBeforePos reports whether obj is passed to a sort/slices
+// ordering function before pos in the enclosing function.
+func sortedBeforePos(pass *Pass, decl *ast.FuncDecl, obj *types.Var, pos token.Pos) bool {
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		pkg := funcPkgPath(fn)
+		if (pkg != "sort" && pkg != "slices") || !sortFuncs[fn.Name()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (w *lockWalker) reportBlocking(pos token.Pos, what string, held map[string]token.Pos) {
+	w.pass.Reportf(pos,
+		"%s while stripe mutex %s.mu is held: a blocked stripe holder stalls every "+
+			"caller hashed to that stripe and can deadlock the virtual clock — move the "+
+			"blocking operation outside the critical section (DESIGN.md §16)",
+		what, minKey(held))
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// minKey picks the lexically smallest held key so reports stay
+// deterministic regardless of map iteration order.
+func minKey(held map[string]token.Pos) string {
+	best := ""
+	for k := range held {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+func blockTerminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	return stmtTerminates(b.List[len(b.List)-1])
+}
+
+func stmtTerminates(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.BREAK || s.Tok == token.CONTINUE || s.Tok == token.GOTO
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return blockTerminates(s)
+	case *ast.IfStmt:
+		return blockTerminates(s.Body) && s.Else != nil && stmtTerminates(s.Else)
+	}
+	return false
+}

@@ -105,7 +105,7 @@ func runObsNoClock(pass *Pass) error {
 		return nil
 	}
 
-	reach := newClockReach(pass)
+	reach := pass.CallGraph().Reacher(clockAPIName)
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -117,7 +117,7 @@ func runObsNoClock(pass *Pass) error {
 				return true
 			}
 			for _, arg := range call.Args {
-				if culprit := reach.callbackReaches(arg); culprit != "" {
+				if culprit := reach.FromCallback(arg); culprit != "" {
 					pass.Reportf(arg.Pos(),
 						"callback passed to obs.%s reaches vclock-advancing API %s: "+
 							"observation must be free — instrumentation cannot advance, charge or gate "+
@@ -137,100 +137,6 @@ func importPath(imp *ast.ImportSpec) string {
 		path = path[1 : len(path)-1]
 	}
 	return path
-}
-
-// clockReach answers "does this function (or function literal) reach a
-// clock-advancing API?", following static calls through functions
-// declared in the analyzed package.
-type clockReach struct {
-	pass  *Pass
-	decls map[*types.Func]*ast.FuncDecl
-	memo  map[*types.Func]string // "" = does not reach; else culprit name
-}
-
-func newClockReach(pass *Pass) *clockReach {
-	r := &clockReach{
-		pass:  pass,
-		decls: make(map[*types.Func]*ast.FuncDecl),
-		memo:  make(map[*types.Func]string),
-	}
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok {
-				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-					r.decls[fn] = fd
-				}
-			}
-		}
-	}
-	return r
-}
-
-// callbackReaches inspects a call argument; when it is a function
-// (literal, or a reference to a function or method value) that reaches
-// a clock-advancing API, it returns the offending API's name.
-func (r *clockReach) callbackReaches(arg ast.Expr) string {
-	switch a := ast.Unparen(arg).(type) {
-	case *ast.FuncLit:
-		return r.bodyReaches(a.Body, make(map[*types.Func]bool))
-	case *ast.Ident, *ast.SelectorExpr:
-		var id *ast.Ident
-		if sel, ok := a.(*ast.SelectorExpr); ok {
-			id = sel.Sel
-		} else {
-			id = a.(*ast.Ident)
-		}
-		if fn, ok := r.pass.TypesInfo.Uses[id].(*types.Func); ok {
-			return r.funcReaches(fn, make(map[*types.Func]bool))
-		}
-	}
-	return ""
-}
-
-// funcReaches reports the clock-advancing API reachable from fn, or "".
-func (r *clockReach) funcReaches(fn *types.Func, seen map[*types.Func]bool) string {
-	if culprit := clockAPIName(fn); culprit != "" {
-		return culprit
-	}
-	if seen[fn] {
-		return ""
-	}
-	seen[fn] = true
-	if culprit, ok := r.memo[fn]; ok {
-		return culprit
-	}
-	decl, ok := r.decls[fn]
-	if !ok || decl.Body == nil {
-		return "" // declared outside this package: out of static reach
-	}
-	culprit := r.bodyReaches(decl.Body, seen)
-	r.memo[fn] = culprit
-	return culprit
-}
-
-// bodyReaches scans a function body for calls that are (or reach) a
-// clock-advancing API.
-func (r *clockReach) bodyReaches(body ast.Node, seen map[*types.Func]bool) string {
-	var culprit string
-	ast.Inspect(body, func(n ast.Node) bool {
-		if culprit != "" {
-			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		callee := calleeFunc(r.pass.TypesInfo, call)
-		if callee == nil {
-			return true
-		}
-		if c := r.funcReaches(callee, seen); c != "" {
-			culprit = c
-			return false
-		}
-		return true
-	})
-	return culprit
 }
 
 // clockAPIName classifies fn as a clock-advancing API, returning a

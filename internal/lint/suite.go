@@ -6,12 +6,19 @@ import (
 	"strings"
 )
 
-// Suite is every xprsvet analyzer, in reporting order.
+// Suite is every xprsvet analyzer, in reporting order. AllowAudit
+// must come last: it is a pseudo-analyzer that inspects which allow
+// directives the others consumed (RunAnalyzers special-cases it).
 var Suite = []*Analyzer{
 	VclockPurity,
 	ObsNoClock,
 	MapOrder,
 	AtomicMix,
+	PoolLifetime,
+	LockOrder,
+	PolicyPurity,
+	TraceGate,
+	AllowAudit,
 }
 
 // governedSuffixes are the import-path suffixes of the vclock-governed

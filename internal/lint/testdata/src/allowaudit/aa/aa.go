@@ -1,0 +1,27 @@
+// Package aa exercises allowaudit: a directive that suppresses a real
+// finding stays live; one that no longer suppresses anything is flagged
+// as stale (unless itself excused with //lint:allow allowaudit).
+package aa
+
+var sink []int
+
+// live suppresses a real maporder finding, so its directive is kept.
+func live(m map[int]int) {
+	for k := range m {
+		//lint:allow maporder — fixture: deliberate unsorted append
+		sink = append(sink, k)
+	}
+}
+
+// stale has no violation left under its directive.
+func stale() int {
+	//lint:allow maporder — fixture gone stale // want `stale //lint:allow maporder`
+	return 1
+}
+
+// retained is stale too, but deliberately kept and excused.
+func retained() int {
+	//lint:allow allowaudit — fixture: directive retained on purpose
+	//lint:allow maporder — fixture: kept for a pending revert
+	return 2
+}

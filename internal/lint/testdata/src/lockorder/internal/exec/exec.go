@@ -1,0 +1,130 @@
+// Package exec exercises lockorder: stripe (sharded) mutexes are leaf
+// locks — never hold two distinct stripes, sort multi-acquire index
+// loops, and never block under one.
+package exec
+
+import (
+	"slices"
+	"sync"
+
+	"lockorder/internal/vclock"
+)
+
+type shard struct {
+	mu    sync.Mutex
+	queue []int
+}
+
+type sched struct {
+	shards []shard
+	events *vclock.Mailbox
+	notify chan struct{}
+}
+
+func (s *sched) shardOf(id int) *shard { return &s.shards[id%len(s.shards)] }
+
+// Rule 3: a blocking vclock call under a stripe lock.
+func (s *sched) postUnderLock(id int) {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	sh.queue = append(sh.queue, id)
+	s.events.Post(id) // want `call to vclock\.Mailbox\.Post while stripe mutex sh\.mu is held`
+	sh.mu.Unlock()
+}
+
+func (s *sched) ring() { s.events.Post(0) }
+
+// Rule 3, transitively through an in-package helper.
+func (s *sched) indirectPostUnderLock(id int) {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	s.ring() // want `call reaching vclock\.Mailbox\.Post while stripe mutex sh\.mu is held`
+	sh.mu.Unlock()
+}
+
+// Rule 3: raw channel operations block too.
+func (s *sched) sendUnderLock(id int) {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	s.notify <- struct{}{} // want `channel send while stripe mutex sh\.mu is held`
+	sh.mu.Unlock()
+}
+
+// Rule 1: two distinct stripes held at once.
+func (s *sched) nested(a, b int) {
+	s.shards[a].mu.Lock()
+	s.shards[b].mu.Lock() // want `stripe mutex s\.shards\[b\]\.mu acquired while stripe s\.shards\[a\]\.mu is already held`
+	s.shards[b].mu.Unlock()
+	s.shards[a].mu.Unlock()
+}
+
+func (s *sched) lockOne(id int) {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	sh.queue = append(sh.queue, id)
+	sh.mu.Unlock()
+}
+
+// Rule 1, transitively: a callee that acquires a stripe while the
+// caller already holds one.
+func (s *sched) nestedViaCall(a, b int) {
+	s.shards[a].mu.Lock()
+	s.lockOne(b) // want `call reaches lockOne, which acquires a stripe mutex`
+	s.shards[a].mu.Unlock()
+}
+
+// Rule 2: a multi-acquire loop over an unsorted local index slice.
+func (s *sched) lockAllUnsorted(idxs []int) {
+	for _, ix := range idxs {
+		s.shards[ix].mu.Lock() // want `not sorted before the loop`
+	}
+	for _, ix := range idxs {
+		s.shards[ix].mu.Unlock()
+	}
+}
+
+// Negative: the registerIDs idiom — sort first, then acquire ascending.
+func (s *sched) lockAllSorted(idxs []int) {
+	slices.Sort(idxs)
+	for _, ix := range idxs {
+		s.shards[ix].mu.Lock()
+	}
+	for _, ix := range idxs {
+		s.shards[ix].mu.Unlock()
+	}
+}
+
+// Negative: the Submit TryLock fast path — the fallback Lock
+// re-acquires the same stripe, not a second one.
+func (s *sched) submit(id int) {
+	sh := s.shardOf(id)
+	if !sh.mu.TryLock() {
+		sh.mu.Lock()
+	}
+	sh.queue = append(sh.queue, id)
+	sh.mu.Unlock()
+}
+
+// Negative: an Unlock+return branch does not leak held state into the
+// fall-through path (which still holds the lock, correctly).
+func (s *sched) closedCheck(id int, closed bool) int {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	if closed {
+		sh.mu.Unlock()
+		return -1
+	}
+	n := len(sh.queue)
+	sh.mu.Unlock()
+	return n
+}
+
+// Negative: the doorbell shape escapes with a justified allow.
+func (s *sched) doorbell(id int) {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	sh.queue = append(sh.queue, id)
+	//lint:allow lockorder — fixture: doorbell ordering requires Post inside the critical section
+	s.events.Post(id)
+	sh.mu.Unlock()
+}

@@ -1,0 +1,9 @@
+// Package vclock is a lockorder fixture stand-in for the virtual
+// clock: a Mailbox whose Post/Wait are classified as blocking.
+package vclock
+
+type Mailbox struct{}
+
+func (m *Mailbox) Post(ev interface{})  {}
+func (m *Mailbox) Wait() interface{}    { return nil }
+func (m *Mailbox) TryWait() interface{} { return nil }

@@ -1,0 +1,98 @@
+// Package core exercises policypurity: every type satisfying the
+// QueuePolicy interface — found by interface satisfaction, not by name
+// — is transitively barred from wall-clock reads, global rand,
+// goroutine spawns and map-range-ordered picks.
+package core
+
+import (
+	"math/rand"
+	"slices"
+	"time"
+)
+
+// QueuePolicy mirrors the real scheduling extension point.
+type QueuePolicy interface {
+	Pick(ready map[int]*Query) *Query
+}
+
+type Query struct {
+	ID   int
+	cost float64
+}
+
+// FairPolicy is clean: the blessed collect-append-then-sort pattern.
+type FairPolicy struct{}
+
+func (FairPolicy) Pick(ready map[int]*Query) *Query {
+	var ids []int
+	for id := range ready {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	if len(ids) == 0 {
+		return nil
+	}
+	return ready[ids[0]]
+}
+
+// GreedyPolicy picks first-match out of a map range and leans on an
+// impure helper.
+type GreedyPolicy struct{}
+
+func (GreedyPolicy) Pick(ready map[int]*Query) *Query {
+	for _, q := range ready {
+		if lucky() {
+			return q // want `return from inside a map range in policy code`
+		}
+	}
+	return nil
+}
+
+// lucky is impure and reachable from GreedyPolicy.Pick.
+func lucky() bool {
+	deadline := time.Now() // want `time\.Now reached from a scheduling policy`
+	_ = deadline
+	return rand.Intn(2) == 0 // want `rand\.Intn reached from a scheduling policy`
+}
+
+// AsyncPolicy races its own bookkeeping.
+type AsyncPolicy struct{ hits int }
+
+func (p *AsyncPolicy) Pick(ready map[int]*Query) *Query {
+	go func() { p.hits++ }() // want `goroutine spawned in code reachable from a scheduling policy`
+	return nil
+}
+
+// MaxPolicy reduces inside the map range: ties follow iteration order.
+type MaxPolicy struct{}
+
+func (MaxPolicy) Pick(ready map[int]*Query) *Query {
+	var best *Query
+	for _, q := range ready {
+		if best == nil || q.cost > best.cost {
+			best = q // want `assignment to "best" \(declared outside the loop\) inside a map range`
+		}
+	}
+	return best
+}
+
+// SumPolicy carries a justified allow for an order-insensitive reduce.
+type SumPolicy struct{}
+
+func (SumPolicy) Pick(ready map[int]*Query) *Query {
+	var sum float64
+	for _, q := range ready {
+		//lint:allow policypurity — fixture: commutative sum, order-insensitive
+		sum += q.cost
+	}
+	if sum <= 0 {
+		return nil
+	}
+	return nil
+}
+
+// reporter does NOT satisfy QueuePolicy, so its wall-clock read is out
+// of policypurity's scope (vclockpurity owns it in the real tree).
+type reporter struct{}
+
+func (reporter) stamp() time.Time { return time.Now() }

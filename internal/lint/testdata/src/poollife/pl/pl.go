@@ -1,0 +1,118 @@
+// Package pl exercises poollifetime: pooled values must not be used
+// after their recycle point, recycled after escaping, or read after
+// being published under a since-released lock. Getters and putters are
+// classified transitively (getBuf/putBuf count the same as Get/Put).
+package pl
+
+import "sync"
+
+type buf struct {
+	n int
+}
+
+var bufPool sync.Pool
+
+func getBuf() *buf {
+	b, _ := bufPool.Get().(*buf)
+	if b == nil {
+		b = new(buf)
+	}
+	return b
+}
+
+func putBuf(b *buf) { bufPool.Put(b) }
+
+type server struct {
+	mu   sync.Mutex
+	cur  *buf
+	done chan *buf
+}
+
+// Rule 1: use after a direct Put.
+func (s *server) useAfterPut() int {
+	b := getBuf()
+	bufPool.Put(b)
+	return b.n // want `used here after being recycled`
+}
+
+// Rule 1 through the transitive putter.
+func (s *server) useAfterPutter() {
+	b := getBuf()
+	putBuf(b)
+	b.n = 1 // want `used here after being recycled`
+}
+
+// Rule 2: the field store keeps an alias alive past the recycle.
+func (s *server) escapeThenPut() {
+	b := getBuf()
+	s.cur = b
+	bufPool.Put(b) // want `recycled here but escaped into longer-lived storage`
+}
+
+// Rule 2: a channel send is an escape too.
+func (s *server) sendThenPut() {
+	b := getBuf()
+	s.done <- b
+	putBuf(b) // want `recycled here but escaped into longer-lived storage`
+}
+
+// Rule 3: published under the lock, read after it was released — the
+// new owner may already have recycled the value.
+func (s *server) publishThenRead() int {
+	b := getBuf()
+	s.mu.Lock()
+	s.cur = b
+	s.mu.Unlock()
+	return b.n // want `read here after being published to shared state under a lock`
+}
+
+// Negative: capture what you need before publishing.
+func (s *server) captureFirst() int {
+	b := getBuf()
+	n := b.n
+	s.mu.Lock()
+	s.cur = b
+	s.mu.Unlock()
+	return n
+}
+
+// Negative: rebinding installs a fresh value under the old name.
+func (s *server) rebind() int {
+	b := getBuf()
+	bufPool.Put(b)
+	b = getBuf()
+	n := b.n
+	putBuf(b)
+	return n
+}
+
+// Negative: a recycle on an early-return branch does not dominate the
+// fall-through path (the Submit error-branch shape).
+func (s *server) branchPut(bad bool) int {
+	b := getBuf()
+	if bad {
+		putBuf(b)
+		return 0
+	}
+	n := b.n
+	putBuf(b)
+	return n
+}
+
+// Negative: closures own their recycle points (the goRunner pattern);
+// lifetimes across goroutines are out of scope.
+func (s *server) closurePut() {
+	b := getBuf()
+	go func() {
+		b.n++
+		putBuf(b)
+	}()
+}
+
+// Negative: a justified escape suppresses the finding.
+func (s *server) allowed() int {
+	b := getBuf()
+	bufPool.Put(b)
+	//lint:allow poollifetime — fixture: deliberate use-after-put
+	return b.n
+}

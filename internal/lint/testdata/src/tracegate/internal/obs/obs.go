@@ -1,0 +1,8 @@
+// Package obs is a tracegate fixture stand-in: a Tracer whose
+// Span/Instant methods are the gated emission points.
+package obs
+
+type Tracer struct{}
+
+func (t *Tracer) Span(at, dur int64, pid, tid int, cat, name, detail string) {}
+func (t *Tracer) Instant(at int64, pid, tid int, cat, name, detail string)   {}

@@ -496,3 +496,39 @@ func TestPropertyTuplesPerPageMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRelationsDeterministicOrder pins the Relations contract audited
+// under the lockorder/maporder rules: the snapshot is collected from
+// the name map (randomized iteration) and must come back in ascending
+// ID order on every call, regardless of registration order.
+func TestRelationsDeterministicOrder(t *testing.T) {
+	_, st := newTestStore(0)
+	// Register in an order unrelated to either name or ID sequence.
+	for _, name := range []string{"zeta", "alpha", "mid", "omega", "beta"} {
+		b := NewBuilder(st.NextID(), name, expSchema())
+		_ = b.Append(NewTuple(IntVal(1), TextVal(name)))
+		if err := st.Add(b.Finalize()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var first []int32
+	for round := 0; round < 10; round++ {
+		rels := st.Relations()
+		ids := make([]int32, len(rels))
+		for i, r := range rels {
+			ids[i] = r.ID
+			if i > 0 && ids[i-1] >= ids[i] {
+				t.Fatalf("round %d: IDs not strictly ascending: %v", round, ids)
+			}
+		}
+		if first == nil {
+			first = ids
+			continue
+		}
+		for i := range ids {
+			if ids[i] != first[i] {
+				t.Fatalf("round %d: order changed: %v vs %v", round, ids, first)
+			}
+		}
+	}
+}
